@@ -1,0 +1,45 @@
+"""Benchmark configuration.
+
+Figure benchmarks run a full (CI-scale) federated experiment once via
+``benchmark.pedantic`` and print the regenerated rows/series next to the
+paper's claims; micro-benchmarks time the hot primitives with the default
+pytest-benchmark statistics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.federated.update import ModelUpdate
+from repro.utils.rng import rng_from_seed
+
+DATASETS = ("cifar10", "motionsense", "mobiact", "lfw")
+
+
+def make_updates(model, count: int, seed: int = 0, round_index: int = 0) -> list[ModelUpdate]:
+    """Synthesize ``count`` distinct updates around a model's current state."""
+    rng = rng_from_seed(seed)
+    base = model.state_dict()
+    updates = []
+    for sender in range(count):
+        state = OrderedDict(
+            (name, value + 0.05 * rng.standard_normal(value.shape).astype(np.float32))
+            for name, value in base.items()
+        )
+        updates.append(ModelUpdate(sender_id=sender, round_index=round_index, state=state))
+    return updates
+
+
+def print_report(header: str, body: str, checks: dict[str, bool] | None = None) -> None:
+    """Print a paper-vs-measured block under the benchmark output."""
+    print()
+    print("=" * 72)
+    print(header)
+    print("-" * 72)
+    print(body)
+    if checks is not None:
+        for name, passed in checks.items():
+            print(f"  [{'ok' if passed else 'FAIL'}] {name}")
+    print("=" * 72)

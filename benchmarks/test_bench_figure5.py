@@ -1,0 +1,28 @@
+"""Figure 5 benchmark: utility curves for FL / MixNN / noisy gradient.
+
+Regenerates all four panels (one per dataset) at CI scale and prints the
+accuracy-per-round table next to the paper's claim that MixNN matches
+classical FL while noisy gradient trails by ~10 points.
+"""
+
+import pytest
+
+from repro.experiments import figure5
+from repro.experiments.reporting import PAPER_CLAIMS
+
+from .conftest import DATASETS, print_report
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure5(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figure5.run_figure5(dataset), iterations=1, rounds=1
+    )
+    checks = figure5.shape_checks(result)
+    print_report(
+        f"Figure 5 ({dataset}) — paper: {PAPER_CLAIMS['figure5']['statement']}",
+        result.render(),
+        checks,
+    )
+    assert checks["mixnn_equals_fl"], "§4.2 equivalence must hold exactly"
+    assert checks["fl_learns"]

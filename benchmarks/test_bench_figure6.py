@@ -1,0 +1,28 @@
+"""Figure 6 benchmark: per-participant accuracy CDF at round 6.
+
+Paper: "most of the participants have an accuracy with noisy gradient smaller
+than MixNN for all datasets (on average 0.56 for noisy gradient against 0.68
+for MixNN)".
+"""
+
+import pytest
+
+from repro.experiments import figure6
+from repro.experiments.reporting import PAPER_CLAIMS
+
+from .conftest import DATASETS, print_report
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure6(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figure6.run_figure6(dataset), iterations=1, rounds=1
+    )
+    checks = figure6.shape_checks(result)
+    print_report(
+        f"Figure 6 ({dataset}) — paper: {PAPER_CLAIMS['figure6']['statement']}",
+        result.render(),
+        checks,
+    )
+    assert checks["noisy_mean_below_mixnn_mean"]
+    assert checks["mixnn_matches_fl_mean"]

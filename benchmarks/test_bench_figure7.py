@@ -1,0 +1,31 @@
+"""Figure 7 benchmark: active ∇Sim inference accuracy per learning round.
+
+Paper: near-perfect inference on classical FL (1.00 CIFAR10, ~0.80
+MotionSense, ~0.94 MobiAct, ~0.66 LFW), MixNN at random guess, noisy gradient
+in between.
+"""
+
+import pytest
+
+from repro.experiments import figure7
+from repro.experiments.reporting import PAPER_CLAIMS
+
+from .conftest import DATASETS, print_report
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure7(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figure7.run_figure7(dataset), iterations=1, rounds=1
+    )
+    checks = figure7.shape_checks(result)
+    expected_fl = PAPER_CLAIMS["figure7"]["classical_fl"][dataset]
+    measured_fl = result.curves["classical-fl"][-1]
+    print_report(
+        f"Figure 7 ({dataset}) — paper FL leak {expected_fl:.2f}, measured {measured_fl:.2f}",
+        result.render(),
+        checks,
+    )
+    assert checks["fl_leaks_strongly"]
+    assert checks["mixnn_near_random_guess"]
+    assert checks["ordering_fl_ge_noisy_ge_mixnn"]

@@ -1,0 +1,26 @@
+"""Figure 9 benchmark: CDF of close-gradient neighbor counts (§6.4).
+
+Paper: "All participants have at least a few other alter egos with very close
+gradients", defeating layer re-linking after the mix.
+"""
+
+import pytest
+
+from repro.experiments import figure9
+from repro.experiments.reporting import PAPER_CLAIMS
+
+from .conftest import DATASETS, print_report
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure9(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figure9.run_figure9(dataset), iterations=1, rounds=1
+    )
+    checks = figure9.shape_checks(result)
+    print_report(
+        f"Figure 9 ({dataset}) — paper: {PAPER_CLAIMS['figure9']['statement']}",
+        result.render(),
+        checks,
+    )
+    assert checks["typical_participant_has_several"]

@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the hot primitives.
+
+Not tied to a paper figure — these quantify the substrate itself: hybrid
+encryption, the proxy's receive path, batch mixing, conv forward/backward,
+and one federated client epoch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.models import paper_cnn
+from repro.federated.client import LocalTrainingConfig, train_locally
+from repro.federated.update import aggregate_updates
+from repro.mixnn.crypto import decrypt, encrypt, process_keypair
+from repro.mixnn.enclave import SGXEnclaveSim
+from repro.mixnn.mixing import mix_updates
+from repro.mixnn.proxy import MixNNProxy
+from repro.nn import CrossEntropyLoss, Tensor
+from repro.utils.rng import rng_from_seed
+
+from .conftest import make_updates
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return process_keypair()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return paper_cnn((3, 8, 8), 10, rng_from_seed(0))
+
+
+class TestCryptoMicro:
+    def test_encrypt_100kb(self, benchmark, keypair):
+        payload = b"\x42" * 100_000
+        blob = benchmark(lambda: encrypt(keypair.public, payload))
+        assert len(blob) > len(payload)
+
+    def test_decrypt_100kb(self, benchmark, keypair):
+        blob = encrypt(keypair.public, b"\x42" * 100_000)
+        out = benchmark(lambda: decrypt(keypair, blob))
+        assert len(out) == 100_000
+
+
+class TestMixingMicro:
+    def test_batch_mix_16_updates(self, benchmark, model):
+        updates = make_updates(model, 16)
+        emitted = benchmark(lambda: mix_updates(updates, rng_from_seed(0)))
+        assert len(emitted) == 16
+
+    def test_aggregate_16_updates(self, benchmark, model):
+        updates = make_updates(model, 16)
+        out = benchmark(lambda: aggregate_updates(updates))
+        assert set(out) == set(updates[0].state)
+
+
+class TestProxyMicro:
+    def test_full_round_through_proxy(self, benchmark, model, keypair):
+        updates = make_updates(model, 8)
+
+        def round_trip():
+            proxy = MixNNProxy(
+                enclave=SGXEnclaveSim(keypair=keypair, constant_time=False),
+                k=8,
+                rng=rng_from_seed(0),
+            )
+            messages = [proxy.encrypt_for_proxy(u) for u in updates]
+            return proxy.process_round(messages)
+
+        emitted = benchmark.pedantic(round_trip, iterations=1, rounds=5)
+        assert len(emitted) == 8
+
+
+class TestNNMicro:
+    def test_forward_backward_batch32(self, benchmark, model):
+        x = rng_from_seed(1).standard_normal((32, 3, 8, 8)).astype(np.float32)
+        labels = rng_from_seed(2).integers(0, 10, 32)
+        loss_fn = CrossEntropyLoss()
+
+        def step():
+            logits = model(Tensor(x))
+            loss = loss_fn(logits, labels)
+            model.zero_grad()
+            loss.backward()
+            return loss.item()
+
+        value = benchmark(step)
+        assert np.isfinite(value)
+
+    def test_one_local_epoch(self, benchmark, model, tiny_motionsense=None):
+        from repro.data.base import ArrayDataset
+
+        rng = rng_from_seed(3)
+        data = ArrayDataset(
+            rng.standard_normal((64, 3, 8, 8)).astype(np.float32), rng.integers(0, 10, 64)
+        )
+        config = LocalTrainingConfig(local_epochs=1, batch_size=32)
+        loss = benchmark.pedantic(
+            lambda: train_locally(model, data, config, rng_from_seed(4)), iterations=1, rounds=3
+        )
+        assert np.isfinite(loss)

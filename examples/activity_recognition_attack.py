@@ -1,0 +1,64 @@
+"""Gender inference from activity-recognition updates — and its mitigation.
+
+Reproduces the paper's headline scenario in miniature (Figure 7,
+MotionSense): a malicious aggregation server runs the *active* ∇Sim attack,
+broadcasting a model crafted to be equidistant from a men-trained and a
+women-trained reference model, then classifies every participant by the
+direction of the gradient they send back.
+
+The script prints the cumulative inference accuracy per round for classical
+FL (expected: near-perfect gender inference), the noisy-gradient baseline
+(expected: partial leak), and MixNN (expected: a coin flip).
+
+Run:  python examples/activity_recognition_attack.py
+"""
+
+from repro.attacks import GradSimAttack
+from repro.data import SyntheticMotionSense
+from repro.defenses import GaussianNoiseDefense, MixNNDefense, NoDefense
+from repro.experiments.config import params_for
+from repro.experiments.models import model_fn_for
+from repro.federated import FederatedSimulation
+from repro.utils.rng import rng_from_seed
+
+ROUNDS = 5
+
+
+def attack_run(defense_factory) -> list[float]:
+    dataset = SyntheticMotionSense(seed=0)
+    params = params_for("motionsense")
+    model_fn = model_fn_for(dataset)
+    attack = GradSimAttack(
+        background_clients=dataset.background_clients(),
+        model_fn=model_fn,
+        config=params.local_config(),
+        rng=rng_from_seed(42),
+        mode="active",
+        attack_epochs=params.attack_epochs,
+    )
+    simulation = FederatedSimulation(
+        dataset,
+        model_fn,
+        params.simulation_config(rounds=ROUNDS),
+        defense=defense_factory(),
+        attack=attack,
+    )
+    return simulation.run().inference_curve()
+
+
+def main() -> None:
+    params = params_for("motionsense")
+    print(f"Active ∇Sim, gender inference over {ROUNDS} rounds (random guess = 0.50)\n")
+    for name, factory in [
+        ("classical FL", lambda: NoDefense()),
+        ("noisy gradient", lambda: GaussianNoiseDefense(sigma=params.noise_sigma)),
+        ("MixNN", lambda: MixNNDefense(rng=rng_from_seed(7))),
+    ]:
+        curve = attack_run(factory)
+        print(f"{name:>16}: " + "  ".join(f"{a:.3f}" for a in curve))
+    print("\nMixNN keeps the malicious server at a coin flip; classical FL leaks the")
+    print("gender of every participant within a round or two.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""CIFAR10 preference groups: inferring *what you like* from model updates.
+
+The paper's CIFAR10 setup assigns each participant to one of three interest
+groups (e.g. animals vs vehicles vs objects) and skews local data 80/20
+toward the preferred categories.  The aggregation server never sees any
+image — yet ∇Sim recovers the preference group from the update direction
+alone, because a participant's class skew bends the classifier layers in a
+recognizable way.
+
+The script shows the three-way inference (random guess = 1/3) under classical
+FL and under MixNN, plus the per-group breakdown of the FL predictions.
+
+Run:  python examples/image_preferences_cifar10.py
+"""
+
+from collections import Counter
+
+from repro.attacks import GradSimAttack
+from repro.data import PREFERENCE_GROUPS, SyntheticCIFAR10
+from repro.defenses import MixNNDefense, NoDefense
+from repro.experiments.config import params_for
+from repro.experiments.models import model_fn_for
+from repro.federated import FederatedSimulation
+from repro.utils.rng import rng_from_seed
+
+ROUNDS = 4
+
+
+def run(defense_factory):
+    dataset = SyntheticCIFAR10(seed=0)
+    params = params_for("cifar10")
+    model_fn = model_fn_for(dataset)
+    attack = GradSimAttack(
+        background_clients=dataset.background_clients(),
+        model_fn=model_fn,
+        config=params.local_config(),
+        rng=rng_from_seed(42),
+        mode="active",
+        attack_epochs=params.attack_epochs,
+    )
+    simulation = FederatedSimulation(
+        dataset,
+        model_fn,
+        params.simulation_config(rounds=ROUNDS),
+        defense=defense_factory(),
+        attack=attack,
+    )
+    result = simulation.run()
+    return dataset, attack, result
+
+
+def main() -> None:
+    print("Preference groups:", *(f"group {i}: classes {g}" for i, g in enumerate(PREFERENCE_GROUPS)))
+    print(f"3-way inference over {ROUNDS} rounds; random guess = 0.33\n")
+
+    for name, factory in [("classical FL", NoDefense), ("MixNN", lambda: MixNNDefense(rng=rng_from_seed(7)))]:
+        dataset, attack, result = run(factory)
+        curve = result.inference_curve()
+        print(f"{name:>13}: " + "  ".join(f"{a:.3f}" for a in curve))
+        if name == "classical FL":
+            truth = {c.client_id: c.attribute for c in dataset.clients()}
+            hits = Counter(
+                (truth[p], predicted) for p, predicted in attack.predictions().items() if p in truth
+            )
+            print("              (true group, inferred group) counts:", dict(sorted(hits.items())))
+    print("\nThe FL server pinpoints every participant's interests; MixNN reduces it to chance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Mixnets in miniature: the §2.4 background, running.
+
+MixNN's layer mixing is the neural-network analogue of a Chaum mix network:
+batch, shuffle, forward, so arrivals cannot be linked to departures.  This
+demo runs the repository's message-level mix cascade — the substrate a
+deployment could tunnel proxy traffic through — and shows:
+
+1. onion encryption (one layer per mix on the route);
+2. batching and shuffling at each mix;
+3. delivery order independent of submission order;
+4. tampered messages dropped, not forwarded.
+
+Run:  python examples/mix_cascade_demo.py
+"""
+
+from repro.mixnn import MixCascade
+from repro.utils.rng import rng_from_seed
+
+
+def main() -> None:
+    cascade = MixCascade(num_mixes=3, batch_size=4, rng=rng_from_seed(1))
+    print(f"cascade of {len(cascade.nodes)} mixes; route fingerprints:",
+          [key.fingerprint()[:8] for key in cascade.route_keys])
+
+    messages = [f"participant-{i} update".encode() for i in range(8)]
+    wrapped = [cascade.wrap(m) for m in messages]
+    print(f"onion size: {len(wrapped[0])} bytes for a {len(messages[0])}-byte payload "
+          f"(3 encryption layers)")
+
+    delivered = cascade.send_batch(wrapped + [b"tampered junk"])
+    print("submission order:", [m.decode().split()[0] for m in messages])
+    print("delivery order:  ", [m.decode().split()[0] for m in delivered])
+    assert sorted(delivered) == sorted(messages)
+    print(f"dropped (undecryptable): {cascade.dropped}")
+    print("\nSame principle, different payload: MixNN batches and shuffles model")
+    print("*layers* instead of messages — and the FedAvg aggregate is unchanged.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Passive vs active ∇Sim: how much does protocol abuse buy the server?
+
+§5 defines both adversaries: the *passive* curious server merely observes the
+honest flow; the *active* malicious server broadcasts a model crafted to be
+equidistant from the per-gender reference models, which maximizes the
+separation between the gradients participants send back.  The paper evaluates
+the active worst case (Figure 7); this example (an extension) compares the
+two modes head-to-head on classical FL.
+
+Run:  python examples/passive_vs_active.py
+"""
+
+from repro.attacks import GradSimAttack
+from repro.data import SyntheticMotionSense
+from repro.experiments.config import params_for
+from repro.experiments.models import model_fn_for
+from repro.federated import FederatedSimulation
+from repro.utils.rng import rng_from_seed
+
+ROUNDS = 6
+
+
+def run(mode: str) -> list[float]:
+    dataset = SyntheticMotionSense(seed=0)
+    params = params_for("motionsense")
+    model_fn = model_fn_for(dataset)
+    attack = GradSimAttack(
+        background_clients=dataset.background_clients(),
+        model_fn=model_fn,
+        config=params.local_config(),
+        rng=rng_from_seed(42),
+        mode=mode,
+        attack_epochs=params.attack_epochs,
+    )
+    simulation = FederatedSimulation(
+        dataset, model_fn, params.simulation_config(rounds=ROUNDS), attack=attack
+    )
+    return simulation.run().inference_curve()
+
+
+def main() -> None:
+    print(f"∇Sim on classical FL, {ROUNDS} rounds (random guess = 0.50)\n")
+    for mode in ("passive", "active"):
+        curve = run(mode)
+        print(f"{mode:>8}: " + "  ".join(f"{a:.3f}" for a in curve))
+    print("\nThe passive observer already leaks; actively steering the broadcast to the")
+    print("midpoint of the reference models sharpens the fingerprint further and")
+    print("stabilizes the inference across rounds.")
+
+
+if __name__ == "__main__":
+    main()

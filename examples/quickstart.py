@@ -1,0 +1,45 @@
+"""Quickstart: protect a federated run with MixNN in ~20 lines.
+
+Trains an activity-recognition model federatedly over the MotionSense-like
+cohort three times — classical FL, MixNN, and the noisy-gradient baseline —
+and prints the round-by-round global accuracy of each.  Expect the MixNN
+column to match classical FL exactly (layer mixing does not change the
+aggregate) and the noisy column to trail behind.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.data import SyntheticMotionSense
+from repro.defenses import GaussianNoiseDefense, MixNNDefense, NoDefense
+from repro.experiments.config import params_for
+from repro.experiments.models import model_fn_for
+from repro.federated import FederatedSimulation
+from repro.utils.rng import rng_from_seed
+
+
+def main() -> None:
+    params = params_for("motionsense")
+    defenses = {
+        "classical FL": lambda: NoDefense(),
+        "MixNN": lambda: MixNNDefense(rng=rng_from_seed(7)),
+        "noisy gradient": lambda: GaussianNoiseDefense(sigma=params.noise_sigma),
+    }
+
+    curves = {}
+    for name, make_defense in defenses.items():
+        dataset = SyntheticMotionSense(seed=0)
+        simulation = FederatedSimulation(
+            dataset,
+            model_fn_for(dataset),
+            params.simulation_config(rounds=6),
+            defense=make_defense(),
+        )
+        curves[name] = simulation.run().accuracy_curve()
+        print(f"{name:>16}: " + "  ".join(f"{a:.3f}" for a in curves[name]))
+
+    assert curves["classical FL"] == curves["MixNN"], "mixing must not change the aggregate"
+    print("\nMixNN matched classical FL on every round — no utility trade-off.")
+
+
+if __name__ == "__main__":
+    main()

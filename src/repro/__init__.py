@@ -1,0 +1,30 @@
+"""MixNN reproduction.
+
+A from-scratch Python implementation of *MixNN: Protection of Federated
+Learning Against Inference Attacks by Mixing Neural Network Layers*
+(MIDDLEWARE 2022) and of the ∇Sim attribute-inference attack it evaluates,
+including every substrate the paper depends on: a numpy autograd
+neural-network engine, federated-learning simulation, synthetic stand-ins for
+the four evaluation datasets, hybrid encryption, and an SGX-enclave
+simulator.
+
+Quickstart::
+
+    from repro.data import SyntheticMotionSense
+    from repro.defenses import MixNNDefense
+    from repro.experiments.config import params_for
+    from repro.experiments.models import model_fn_for
+    from repro.federated import FederatedSimulation
+
+    dataset = SyntheticMotionSense(seed=0)
+    params = params_for("motionsense")
+    sim = FederatedSimulation(
+        dataset, model_fn_for(dataset), params.simulation_config(), defense=MixNNDefense()
+    )
+    result = sim.run()
+    print(result.accuracy_curve())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "data", "federated", "mixnn", "attacks", "defenses", "metrics", "experiments"]

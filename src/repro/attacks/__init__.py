@@ -1,0 +1,26 @@
+"""``repro.attacks`` — ∇Sim and the §6.4 robustness analyses."""
+
+from .background import build_reference_states, reference_deltas
+from .gradsim import GradSimAttack, RoundInference, cosine_similarity
+from .membership import MembershipAttack, MembershipReport, per_sample_losses
+from .reconstruction import (
+    RelinkAttack,
+    RelinkReport,
+    neighbor_counts,
+    pairwise_distances,
+)
+
+__all__ = [
+    "GradSimAttack",
+    "RoundInference",
+    "cosine_similarity",
+    "build_reference_states",
+    "reference_deltas",
+    "neighbor_counts",
+    "pairwise_distances",
+    "RelinkAttack",
+    "RelinkReport",
+    "MembershipAttack",
+    "MembershipReport",
+    "per_sample_losses",
+]

@@ -1,0 +1,89 @@
+"""Loss-threshold membership inference (extension; paper §2.3 background).
+
+The paper motivates MixNN with the full ML attack surface — membership,
+property and attribute inference — but evaluates only attribute inference.
+This module implements the classic loss-threshold membership attack
+(Yeom et al., CSF'18) against the *global model* so the repository can also
+quantify the §2.3 claim that "memorization of training data … [is] exploited
+by an adversary to conduct a membership inference attack":
+
+* the adversary computes the model's per-sample loss on candidate records;
+* records with loss below a threshold (calibrated on known non-members) are
+  declared training members.
+
+Note the scope: this attacks what the *aggregate* model memorizes, which
+MixNN does not change (the aggregate is identical by design).  MixNN defends
+the per-participant update channel, not the global model — the test suite
+pins down exactly that boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.base import ArrayDataset
+from ..nn import Module, Tensor, no_grad
+from ..nn.functional import log_softmax
+
+__all__ = ["per_sample_losses", "MembershipAttack", "MembershipReport"]
+
+
+def per_sample_losses(model: Module, dataset: ArrayDataset, batch_size: int = 256) -> np.ndarray:
+    """Cross-entropy loss of each sample under ``model`` (no reduction)."""
+    model.eval()
+    losses: list[np.ndarray] = []
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            features = dataset.features[start : start + batch_size]
+            labels = dataset.labels[start : start + batch_size]
+            log_probs = log_softmax(model(Tensor(features)), axis=-1).numpy()
+            losses.append(-log_probs[np.arange(len(labels)), labels])
+    return np.concatenate(losses)
+
+
+@dataclass
+class MembershipReport:
+    """Outcome of one membership-inference evaluation."""
+
+    threshold: float
+    #: true-positive rate on actual members
+    member_recall: float
+    #: false-positive rate on non-members
+    non_member_fpr: float
+    #: balanced accuracy (0.5 = no membership leakage)
+    advantage_accuracy: float
+
+
+class MembershipAttack:
+    """Loss-threshold membership inference against a model state."""
+
+    def __init__(self, model: Module) -> None:
+        self.model = model
+
+    def calibrate_threshold(self, non_members: ArrayDataset, quantile: float = 0.25) -> float:
+        """Pick the loss threshold from a known non-member calibration set."""
+        losses = per_sample_losses(self.model, non_members)
+        return float(np.quantile(losses, quantile))
+
+    def run(
+        self,
+        members: ArrayDataset,
+        non_members: ArrayDataset,
+        threshold: float | None = None,
+    ) -> MembershipReport:
+        """Score the attack on labelled member / non-member pools."""
+        if threshold is None:
+            threshold = self.calibrate_threshold(non_members)
+        member_losses = per_sample_losses(self.model, members)
+        non_member_losses = per_sample_losses(self.model, non_members)
+        member_recall = float((member_losses <= threshold).mean())
+        non_member_fpr = float((non_member_losses <= threshold).mean())
+        advantage = 0.5 * (member_recall + (1.0 - non_member_fpr))
+        return MembershipReport(
+            threshold=threshold,
+            member_recall=member_recall,
+            non_member_fpr=non_member_fpr,
+            advantage_accuracy=advantage,
+        )

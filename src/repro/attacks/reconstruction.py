@@ -1,0 +1,126 @@
+"""Robustness analysis of the mixing (§6.4) and an actual re-linking attack.
+
+Figure 9 argues MixNN resists reconstruction because participants' gradients
+are mutually close: for every participant there exist several "alter egos"
+within a small euclidean radius, so a server enumerating combinations of the
+shuffled layers cannot tell which pieces belong together.
+
+Two tools implement this section:
+
+* :func:`neighbor_counts` — the paper's census: for each participant, how
+  many *other* participants' updates lie within ``radius`` (euclidean) of its
+  own.  Figure 9 plots the CDF of these counts.
+* :class:`RelinkAttack` — an extension beyond the paper's argument: a greedy
+  malicious server that tries to re-assemble original updates from the mixed
+  ones, linking each emitted layer piece to the attribute class whose
+  reference direction it is most similar to, then checking cross-layer
+  consistency.  The attack succeeding would contradict the paper's claim, so
+  its (low) success rate quantifies robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..federated.update import ModelUpdate, layer_groups, state_delta
+from ..nn.serialization import flatten
+from .gradsim import cosine_similarity
+
+__all__ = ["neighbor_counts", "pairwise_distances", "RelinkAttack", "RelinkReport"]
+
+
+def pairwise_distances(updates: list[ModelUpdate], broadcast_state: dict) -> np.ndarray:
+    """Euclidean distance matrix between participants' update directions."""
+    directions = np.stack([flatten(u.delta(broadcast_state)) for u in updates]).astype(np.float64)
+    diff = directions[:, None, :] - directions[None, :, :]
+    return np.sqrt((diff**2).sum(axis=-1))
+
+
+def neighbor_counts(
+    updates: list[ModelUpdate],
+    broadcast_state: dict,
+    radius: float = 0.5,
+) -> np.ndarray:
+    """For each participant, the number of others within ``radius`` (Fig. 9).
+
+    The paper uses a radius of 0.5 on its TensorFlow-scale gradients; the
+    meaningful quantity is the count distribution, so callers typically set
+    the radius relative to the median pairwise distance.
+    """
+    distances = pairwise_distances(updates, broadcast_state)
+    within = (distances <= radius) & ~np.eye(len(updates), dtype=bool)
+    return within.sum(axis=1)
+
+
+@dataclass
+class RelinkReport:
+    """Outcome of a re-linking attempt over one round of mixed updates."""
+
+    #: per emitted update: attribute class assigned to each layer piece
+    piece_assignments: list[list[int]]
+    #: fraction of emitted updates whose pieces all landed in one class
+    consistency_rate: float
+    #: fraction of layer pieces whose class assignment matches the true
+    #: attribute of the participant the piece came from (needs ground truth)
+    piece_accuracy: float | None
+
+
+class RelinkAttack:
+    """Greedy cross-layer re-linking against mixed updates.
+
+    The adversary holds per-class reference states (as in ∇Sim) and tries to
+    classify every *layer piece* of every emitted update independently; if
+    layer pieces were individually fingerprintable, pieces of one original
+    update would receive consistent labels and could be regrouped.
+    """
+
+    def __init__(self, reference_states: dict[int, dict], broadcast_state: dict) -> None:
+        self.broadcast_state = broadcast_state
+        # Pre-split each reference direction by layer group.
+        self.layer_names = layer_groups(list(broadcast_state.keys()))
+        self.class_layer_deltas: dict[int, dict[str, np.ndarray]] = {}
+        for attribute, state in reference_states.items():
+            delta = state_delta(state, broadcast_state)
+            self.class_layer_deltas[attribute] = {
+                layer: np.concatenate([delta[name].ravel() for name in names])
+                for layer, names in self.layer_names.items()
+            }
+
+    def _classify_piece(self, layer: str, piece: np.ndarray) -> int:
+        scores = {
+            attribute: cosine_similarity(piece, deltas[layer])
+            for attribute, deltas in self.class_layer_deltas.items()
+        }
+        return max(scores.items(), key=lambda kv: kv[1])[0]
+
+    def run(
+        self,
+        mixed_updates: list[ModelUpdate],
+        true_attributes: dict[int, int] | None = None,
+    ) -> RelinkReport:
+        """Attempt to re-link a round of mixed updates."""
+        assignments: list[list[int]] = []
+        piece_hits = 0
+        piece_total = 0
+        for update in mixed_updates:
+            delta = update.delta(self.broadcast_state)
+            update_assignment: list[int] = []
+            sources = update.metadata.get("unit_sources")
+            for layer_index, (layer, names) in enumerate(self.layer_names.items()):
+                piece = np.concatenate([delta[name].ravel() for name in names])
+                predicted = self._classify_piece(layer, piece)
+                update_assignment.append(predicted)
+                if true_attributes is not None and sources is not None:
+                    source = sources[layer_index]
+                    if source in true_attributes:
+                        piece_total += 1
+                        piece_hits += int(predicted == true_attributes[source])
+            assignments.append(update_assignment)
+        consistent = sum(1 for a in assignments if len(set(a)) == 1)
+        return RelinkReport(
+            piece_assignments=assignments,
+            consistency_rate=consistent / len(assignments) if assignments else 0.0,
+            piece_accuracy=piece_hits / piece_total if piece_total else None,
+        )

@@ -1,0 +1,101 @@
+"""Abstract federated-dataset interface.
+
+Every dataset simulator exposes the same surface so the experiment harness,
+the attacks, and the examples are dataset-agnostic:
+
+* ``clients()`` — the FL participants (each with a hidden sensitive
+  attribute);
+* ``background_clients()`` — a disjoint cohort with *known* attributes, the
+  adversary's auxiliary knowledge for training ∇Sim reference models (§3);
+* ``global_test()`` — held-out data for utility measurement.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..utils.rng import rng_from_seed
+from .base import ArrayDataset, ClientDataset
+
+__all__ = ["FederatedDataset"]
+
+
+class FederatedDataset(abc.ABC):
+    """Base class for the four dataset simulators."""
+
+    #: short dataset identifier used in reports ("cifar10", "lfw", ...)
+    name: str
+    #: number of main-task classes
+    num_classes: int
+    #: number of sensitive-attribute classes (random-guess = 1/this)
+    num_attribute_classes: int
+    #: human-readable attribute name ("preference group", "gender")
+    attribute_name: str
+    #: model input shape, channels-first
+    input_shape: tuple[int, ...]
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._root = rng_from_seed(seed)
+        self._clients: list[ClientDataset] | None = None
+        self._background: list[ClientDataset] | None = None
+        self._test: ArrayDataset | None = None
+
+    # ------------------------------------------------------------------
+    # Template methods implemented by each simulator
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _build_clients(self) -> list[ClientDataset]:
+        """Generate the participant cohort."""
+
+    @abc.abstractmethod
+    def _build_background(self) -> list[ClientDataset]:
+        """Generate the adversary's auxiliary cohort (disjoint users)."""
+
+    @abc.abstractmethod
+    def _build_test(self) -> ArrayDataset:
+        """Generate the balanced global test set."""
+
+    # ------------------------------------------------------------------
+    # Cached public accessors
+    # ------------------------------------------------------------------
+    def clients(self) -> list[ClientDataset]:
+        if self._clients is None:
+            self._clients = self._build_clients()
+        return self._clients
+
+    def background_clients(self) -> list[ClientDataset]:
+        if self._background is None:
+            self._background = self._build_background()
+        return self._background
+
+    def global_test(self) -> ArrayDataset:
+        if self._test is None:
+            self._test = self._build_test()
+        return self._test
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients())
+
+    def attributes(self) -> np.ndarray:
+        """Ground-truth sensitive attribute per participant (attack target)."""
+        return np.array([c.attribute for c in self.clients()], dtype=np.int64)
+
+    @property
+    def random_guess_accuracy(self) -> float:
+        """Expected inference accuracy of an attribute-blind adversary."""
+        attrs = self.attributes()
+        counts = np.bincount(attrs, minlength=self.num_attribute_classes)
+        return float(counts.max() / counts.sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(clients={self.num_clients}, classes={self.num_classes}, "
+            f"attribute={self.attribute_name!r}/{self.num_attribute_classes})"
+        )

@@ -1,0 +1,215 @@
+"""Synthetic motion datasets: MotionSense and MobiAct.
+
+Both real datasets are smartphone inertial recordings (accelerometer +
+gyroscope) of six activities — going downstairs, going upstairs, walking,
+jogging, sitting, standing — with the subject's *gender* as the sensitive
+attribute (§6.1.1).  The simulator reproduces the leakage structure:
+
+* the **activity** (main-task label) controls the waveform family — base
+  cadence, harmonic mixture, and per-channel energy distribution;
+* the **gender** (sensitive attribute) shifts the distribution *within every
+  activity*: amplitude scale (body mass / impact), cadence offset (step
+  frequency) and postural offsets.  This is precisely the within-class shift
+  ∇Sim exploits through gradient fingerprints;
+* each **subject** carries idiosyncratic gain/phase so participants are not
+  carbon copies.
+
+MotionSense (24 subjects, 50 Hz) and MobiAct (58 subjects, 20 Hz, male-heavy
+cohort) are two parameterizations of the same generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.rng import rng_from_seed, stable_seed
+from .base import ArrayDataset, ClientDataset
+from .federated import FederatedDataset
+from .synthetic import gait_window
+
+__all__ = ["SyntheticMotionSense", "SyntheticMobiAct", "ACTIVITIES"]
+
+#: Main-task classes shared by both datasets (paper §6.1.1).
+ACTIVITIES: tuple[str, ...] = ("downstairs", "upstairs", "walking", "jogging", "sitting", "standing")
+
+#: Per-activity base cadence (cycles per window) and harmonic mixtures.
+_ACTIVITY_FREQUENCY: tuple[float, ...] = (3.0, 2.5, 2.0, 4.0, 0.3, 0.15)
+_ACTIVITY_HARMONICS: tuple[tuple[float, ...], ...] = (
+    (1.0, 0.55, 0.2),  # downstairs: impact-rich
+    (1.0, 0.45, 0.3),  # upstairs
+    (1.0, 0.3, 0.1),  # walking: clean fundamental
+    (1.0, 0.65, 0.35),  # jogging: strong harmonics
+    (0.25, 0.05, 0.0),  # sitting: low energy
+    (0.15, 0.03, 0.0),  # standing: lowest energy
+)
+#: Per-activity energy split across the 6 channels (acc xyz, gyro xyz).
+_ACTIVITY_CHANNEL_PROFILE: tuple[tuple[float, ...], ...] = (
+    (1.0, 0.8, 1.2, 0.7, 0.5, 0.6),
+    (1.1, 0.7, 1.0, 0.6, 0.6, 0.5),
+    (1.0, 0.6, 0.8, 0.5, 0.4, 0.4),
+    (1.4, 1.0, 1.3, 0.8, 0.7, 0.7),
+    (0.3, 0.2, 0.2, 0.15, 0.1, 0.1),
+    (0.2, 0.15, 0.15, 0.1, 0.1, 0.1),
+)
+
+#: Gender effect sizes: multiplicative amplitude, additive cadence, offsets.
+_GENDER_AMPLITUDE: tuple[float, ...] = (1.25, 0.8)
+_GENDER_FREQUENCY_SHIFT: tuple[float, ...] = (-0.25, 0.3)
+_GENDER_OFFSET: tuple[float, ...] = (0.35, -0.3)
+
+
+@dataclass(frozen=True)
+class MotionProfile:
+    """Static configuration distinguishing MotionSense from MobiAct."""
+
+    name: str
+    num_subjects: int
+    num_female: int
+    window: int
+    sensor_noise: float
+    rate_scale: float  # sampling-rate proxy: scales apparent cadence
+
+
+class _SyntheticMotionBase(FederatedDataset):
+    """Shared generator for both motion datasets."""
+
+    num_classes = len(ACTIVITIES)
+    num_attribute_classes = 2
+    attribute_name = "gender"
+    profile: MotionProfile
+
+    def __init__(
+        self,
+        seed: int = 0,
+        windows_per_activity: int = 10,
+        test_windows_per_activity: int = 2,
+        background_subjects_per_gender: int = 4,
+    ) -> None:
+        super().__init__(seed)
+        self.windows_per_activity = windows_per_activity
+        self.test_windows_per_activity = test_windows_per_activity
+        self.background_subjects_per_gender = background_subjects_per_gender
+        self.num_channels = 6
+        self.input_shape = (1, self.num_channels, self.profile.window)
+
+    # ------------------------------------------------------------------
+    # Signal generation
+    # ------------------------------------------------------------------
+    def _subject_traits(self, rng: np.random.Generator) -> dict:
+        """Idiosyncratic per-subject gain and phase."""
+        return {
+            "gain": 1.0 + 0.12 * rng.standard_normal(self.num_channels).astype(np.float32),
+            "phase": rng.uniform(0, 2 * np.pi, self.num_channels).astype(np.float32),
+            "cadence_jitter": float(rng.normal(0.0, 0.08)),
+        }
+
+    def _window(self, activity: int, gender: int, traits: dict, rng: np.random.Generator) -> np.ndarray:
+        profile = np.array(_ACTIVITY_CHANNEL_PROFILE[activity], dtype=np.float32)
+        amplitude = profile * traits["gain"] * _GENDER_AMPLITUDE[gender]
+        frequency = (
+            _ACTIVITY_FREQUENCY[activity] * self.profile.rate_scale
+            + _GENDER_FREQUENCY_SHIFT[gender]
+            + traits["cadence_jitter"]
+        )
+        offset = np.full(self.num_channels, _GENDER_OFFSET[gender], dtype=np.float32)
+        offset[2] += 1.0  # gravity on acc-z
+        signal = gait_window(
+            num_channels=self.num_channels,
+            window=self.profile.window,
+            base_frequency=max(frequency, 0.05),
+            amplitude=amplitude,
+            phase=traits["phase"] + rng.uniform(0, 2 * np.pi),
+            harmonics=np.array(_ACTIVITY_HARMONICS[activity], dtype=np.float32),
+            offset=offset,
+            noise=self.profile.sensor_noise,
+            rng=rng,
+        )
+        return signal[None]  # add the image-channel axis: (1, C, T)
+
+    def _make_subject(self, client_id: int, gender: int, rng: np.random.Generator) -> ClientDataset:
+        traits = self._subject_traits(rng)
+
+        def batch(per_activity: int) -> ArrayDataset:
+            features, labels = [], []
+            for activity in range(self.num_classes):
+                for _ in range(per_activity):
+                    features.append(self._window(activity, gender, traits, rng))
+                    labels.append(activity)
+            return ArrayDataset(np.stack(features), np.array(labels, dtype=np.int64))
+
+        return ClientDataset(
+            client_id=client_id,
+            train=batch(self.windows_per_activity),
+            test=batch(self.test_windows_per_activity),
+            attribute=gender,
+            metadata={"gender": "female" if gender else "male"},
+        )
+
+    # ------------------------------------------------------------------
+    # FederatedDataset template methods
+    # ------------------------------------------------------------------
+    def _gender_roster(self) -> list[int]:
+        """0 = male, 1 = female, matching the profile's cohort composition."""
+        females = self.profile.num_female
+        males = self.profile.num_subjects - females
+        roster = [0] * males + [1] * females
+        rng_from_seed(stable_seed(self.seed, "roster")).shuffle(roster)
+        return roster
+
+    def _build_clients(self) -> list[ClientDataset]:
+        return [
+            self._make_subject(i, gender, rng_from_seed(stable_seed(self.seed, "subject", i)))
+            for i, gender in enumerate(self._gender_roster())
+        ]
+
+    def _build_background(self) -> list[ClientDataset]:
+        clients: list[ClientDataset] = []
+        client_id = 10_000
+        for gender in (0, 1):
+            for _ in range(self.background_subjects_per_gender):
+                rng = rng_from_seed(stable_seed(self.seed, "background", client_id))
+                clients.append(self._make_subject(client_id, gender, rng))
+                client_id += 1
+        return clients
+
+    def _build_test(self) -> ArrayDataset:
+        """Gender-balanced, activity-balanced held-out pool."""
+        rng = rng_from_seed(stable_seed(self.seed, "global-test"))
+        features, labels = [], []
+        for gender in (0, 1):
+            traits = self._subject_traits(rng)
+            for activity in range(self.num_classes):
+                for _ in range(self.test_windows_per_activity * 2):
+                    features.append(self._window(activity, gender, traits, rng))
+                    labels.append(activity)
+        return ArrayDataset(np.stack(features), np.array(labels, dtype=np.int64))
+
+
+class SyntheticMotionSense(_SyntheticMotionBase):
+    """MotionSense-like workload: 24 subjects, 50 Hz-equivalent windows."""
+
+    name = "motionsense"
+    profile = MotionProfile(
+        name="motionsense",
+        num_subjects=24,
+        num_female=12,
+        window=16,
+        sensor_noise=0.25,
+        rate_scale=1.0,
+    )
+
+
+class SyntheticMobiAct(_SyntheticMotionBase):
+    """MobiAct-like workload: 58 subjects, 20 Hz-equivalent, male-heavy cohort."""
+
+    name = "mobiact"
+    profile = MotionProfile(
+        name="mobiact",
+        num_subjects=58,
+        num_female=20,
+        window=16,
+        sensor_noise=0.35,
+        rate_scale=0.6,
+    )

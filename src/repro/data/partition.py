@@ -1,0 +1,85 @@
+"""Partitioning helpers: background-knowledge subsets and k-fold splits.
+
+The paper's methodology (§6.1.4) evaluates with 5-fold cross-validation over
+users, attack models trained on 4/5 of users as background knowledge, and a
+background-knowledge *ratio* sweep in Figure 8.  These helpers implement those
+selections over lists of :class:`ClientDataset`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ArrayDataset, ClientDataset
+
+__all__ = [
+    "background_subset",
+    "k_fold_clients",
+    "merge_clients",
+    "clients_by_attribute",
+]
+
+
+def background_subset(
+    clients: list[ClientDataset],
+    ratio: float,
+    rng: np.random.Generator,
+) -> list[ClientDataset]:
+    """Select a ``ratio`` fraction of background users, per attribute class.
+
+    Figure 8 sweeps the amount of auxiliary data available to the adversary;
+    sampling per class keeps every reference model trainable even at small
+    ratios (at least one user per attribute class is always retained).
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+    selected: list[ClientDataset] = []
+    for attribute in sorted({c.attribute for c in clients}):
+        members = [c for c in clients if c.attribute == attribute]
+        order = rng.permutation(len(members))
+        take = max(1, int(round(ratio * len(members))))
+        selected.extend(members[i] for i in order[:take])
+    return sorted(selected, key=lambda c: c.client_id)
+
+
+def k_fold_clients(
+    clients: list[ClientDataset],
+    num_folds: int,
+    rng: np.random.Generator,
+) -> list[tuple[list[ClientDataset], list[ClientDataset]]]:
+    """Yield ``(train_clients, held_out_clients)`` pairs for k-fold CV.
+
+    Matches the paper's 5-fold cross-validation where the testing set is
+    "randomly generated from 1/5 of the users".
+    """
+    if num_folds < 2:
+        raise ValueError(f"need at least 2 folds, got {num_folds}")
+    if num_folds > len(clients):
+        raise ValueError(f"{num_folds} folds requested for {len(clients)} clients")
+    order = rng.permutation(len(clients))
+    folds = np.array_split(order, num_folds)
+    out: list[tuple[list[ClientDataset], list[ClientDataset]]] = []
+    for held in folds:
+        held_set = set(held.tolist())
+        train = [clients[i] for i in range(len(clients)) if i not in held_set]
+        test = [clients[i] for i in sorted(held_set)]
+        out.append((train, test))
+    return out
+
+
+def merge_clients(clients: list[ClientDataset]) -> ArrayDataset:
+    """Pool the training data of several clients into one dataset."""
+    if not clients:
+        raise ValueError("cannot merge an empty client list")
+    merged = clients[0].train
+    for client in clients[1:]:
+        merged = merged.concat(client.train)
+    return merged
+
+
+def clients_by_attribute(clients: list[ClientDataset]) -> dict[int, list[ClientDataset]]:
+    """Group clients by their sensitive-attribute class."""
+    grouped: dict[int, list[ClientDataset]] = {}
+    for client in clients:
+        grouped.setdefault(client.attribute, []).append(client)
+    return dict(sorted(grouped.items()))

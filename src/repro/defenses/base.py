@@ -1,0 +1,59 @@
+"""Defense interface.
+
+A defense transforms the set of participant updates *before the aggregation
+server sees them*.  Three concrete defenses cover the paper's comparison:
+
+* :class:`NoDefense` — classical FL (updates pass through untouched);
+* :class:`~repro.defenses.noisy_gradient.GaussianNoiseDefense` — the local-DP
+  style noisy-gradient baseline;
+* :class:`~repro.defenses.mixnn_defense.MixNNDefense` — routing through the
+  MixNN proxy.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..federated.update import ModelUpdate
+
+__all__ = ["Defense", "NoDefense"]
+
+
+class Defense(abc.ABC):
+    """Transforms a round's updates on their way to the server."""
+
+    #: identifier used in reports ("classical-fl", "noisy-gradient", "mixnn")
+    name: str = "defense"
+
+    @abc.abstractmethod
+    def process_round(
+        self,
+        updates: list[ModelUpdate],
+        rng: np.random.Generator,
+        broadcast_state: dict | None = None,
+    ) -> list[ModelUpdate]:
+        """Return the updates as the aggregation server will receive them.
+
+        ``broadcast_state`` is the model the participants refined this round;
+        defenses that operate on update *deltas* (e.g. DP clipping) need it,
+        the others may ignore it.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NoDefense(Defense):
+    """Classical federated learning: the server sees raw updates."""
+
+    name = "classical-fl"
+
+    def process_round(
+        self,
+        updates: list[ModelUpdate],
+        rng: np.random.Generator,
+        broadcast_state: dict | None = None,
+    ) -> list[ModelUpdate]:
+        return updates

@@ -1,0 +1,89 @@
+"""MixNN as a pluggable defense.
+
+Wires the full participant-side pipeline into the
+:class:`~repro.defenses.base.Defense` interface: attestation of the proxy
+enclave, per-update hybrid encryption, streaming through the proxy's
+``k``-lists, and emission of mixed updates to the aggregation server.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+import numpy as np
+
+from ..federated.update import ModelUpdate
+from ..mixnn.enclave import EnclaveError, SGXEnclaveSim
+from ..mixnn.proxy import MixNNProxy
+from .base import Defense
+
+__all__ = ["MixNNDefense"]
+
+
+class MixNNDefense(Defense):
+    """Route each round's updates through a MixNN proxy.
+
+    ``k`` is the proxy's list capacity (§4.3).  The default ``k=None`` sizes
+    the lists to the round's full cohort — the §4.2 setting ``L = C`` under
+    which the utility-equivalence proof holds and which the paper's privacy
+    evaluation assumes.  A small explicit ``k`` enables the streaming mode;
+    note that a small window *leaks arrival locality* (mixed layers come from
+    temporally nearby participants), which the k-sweep ablation benchmark
+    quantifies.
+    """
+
+    name = "mixnn"
+
+    def __init__(
+        self,
+        proxy: MixNNProxy | None = None,
+        k: int | None = None,
+        granularity: str = "layer",
+        rng: np.random.Generator | None = None,
+        enclave: SGXEnclaveSim | None = None,
+        verify_attestation: bool = True,
+    ) -> None:
+        self.proxy = proxy
+        self._k = k
+        self._granularity = granularity
+        self._rng = rng or np.random.default_rng()
+        self._enclave = enclave
+        self.verify_attestation = verify_attestation
+        self._attested = False
+
+    def _ensure_proxy(self, round_size: int) -> MixNNProxy:
+        if self.proxy is None:
+            self.proxy = MixNNProxy(
+                enclave=self._enclave,
+                k=self._k if self._k is not None else round_size,
+                rng=self._rng,
+                granularity=self._granularity,
+            )
+        return self.proxy
+
+    def _attest(self) -> None:
+        """Participant-side check before the first upload (§2.5)."""
+        nonce = secrets.token_bytes(16)
+        quote = self.proxy.enclave.quote(nonce)
+        if not self.proxy.enclave.verify_quote(quote, self.proxy.enclave.code_identity):
+            raise EnclaveError("proxy enclave failed attestation; refusing to upload")
+        self._attested = True
+
+    def process_round(
+        self,
+        updates: list[ModelUpdate],
+        rng: np.random.Generator,
+        broadcast_state: dict | None = None,
+    ) -> list[ModelUpdate]:
+        proxy = self._ensure_proxy(len(updates))
+        if self.verify_attestation and not self._attested:
+            self._attest()
+        # Network arrival order at the proxy is arbitrary.
+        order = rng.permutation(len(updates))
+        messages = [proxy.encrypt_for_proxy(updates[i]) for i in order]
+        return proxy.process_round(messages)
+
+    def __repr__(self) -> str:
+        if self.proxy is None:
+            return f"MixNNDefense(k={self._k}, granularity={self._granularity!r})"
+        return f"MixNNDefense(k={self.proxy.k}, granularity={self.proxy.granularity!r})"

@@ -1,0 +1,1 @@
+"""``repro.experiments`` — harness regenerating every table and figure."""

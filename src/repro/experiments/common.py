@@ -1,0 +1,70 @@
+"""Shared experiment plumbing: one entry point to run any (dataset, scheme).
+
+Every figure in §6 compares the same three schemes — classical FL, MixNN and
+the noisy-gradient baseline — over the same per-dataset methodology, so the
+figure modules all call :func:`run_scheme` with different observation hooks.
+"""
+
+from __future__ import annotations
+
+from ..attacks import GradSimAttack
+from ..data.federated import FederatedDataset
+from ..defenses import Defense, GaussianNoiseDefense, MixNNDefense, NoDefense
+from ..federated import FederatedSimulation, SimulationResult
+from ..utils.rng import rng_from_seed, stable_seed
+from .config import ExperimentParams, build_experiment
+from .models import model_fn_for
+
+__all__ = ["SCHEMES", "make_defense", "run_scheme"]
+
+#: Report names of the compared schemes, in the paper's plotting order.
+SCHEMES: tuple[str, ...] = ("classical-fl", "mixnn", "noisy-gradient")
+
+
+def make_defense(scheme: str, params: ExperimentParams, seed: int = 0) -> Defense:
+    """Instantiate the defense for a scheme name."""
+    if scheme == "classical-fl":
+        return NoDefense()
+    if scheme == "mixnn":
+        return MixNNDefense(k=None, rng=rng_from_seed(stable_seed(seed, "mixnn-proxy")))
+    if scheme == "noisy-gradient":
+        return GaussianNoiseDefense(sigma=params.noise_sigma)
+    raise KeyError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+
+
+def run_scheme(
+    dataset_name: str,
+    scheme: str,
+    scale: str = "ci",
+    seed: int = 0,
+    rounds: int | None = None,
+    attack_mode: str | None = None,
+    background_ratio: float = 1.0,
+) -> tuple[SimulationResult, FederatedDataset, ExperimentParams]:
+    """Run one full federated simulation for (dataset, scheme).
+
+    ``attack_mode`` of ``None`` runs without an adversary (utility figures);
+    ``"passive"`` / ``"active"`` attach a ∇Sim observer (privacy figures —
+    the paper's Figures 7–8 use the active worst case).
+    """
+    dataset, params = build_experiment(dataset_name, scale=scale, seed=seed)
+    model_fn = model_fn_for(dataset)
+    attack = None
+    if attack_mode is not None:
+        attack = GradSimAttack(
+            background_clients=dataset.background_clients(),
+            model_fn=model_fn,
+            config=params.local_config(),
+            rng=rng_from_seed(stable_seed(seed, "attack")),
+            mode=attack_mode,
+            background_ratio=background_ratio,
+            attack_epochs=params.attack_epochs,
+        )
+    simulation = FederatedSimulation(
+        dataset,
+        model_fn,
+        params.simulation_config(seed=seed, rounds=rounds),
+        defense=make_defense(scheme, params, seed=seed),
+        attack=attack,
+    )
+    return simulation.run(), dataset, params

@@ -1,0 +1,70 @@
+"""Figure 5 — main-task accuracy vs learning round for the three schemes.
+
+Paper claim (§6.2): "the same level of accuracy is provided by a standard FL
+scheme and MixNN", while "noisy gradient provides 10 % lower accuracy on
+average and slows down the convergence".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .common import SCHEMES, run_scheme
+from .reporting import format_series, format_table
+
+__all__ = ["Figure5Result", "run_figure5", "shape_checks"]
+
+
+@dataclass
+class Figure5Result:
+    """Accuracy curves per scheme plus the per-client records for Figure 6."""
+
+    dataset: str
+    curves: dict[str, list[float]]
+    per_client: dict[str, dict[int, dict[int, float]]] = field(default_factory=dict)
+    fig6_round: int = 6
+
+    def rows(self) -> list[list]:
+        out = []
+        for round_index in range(len(next(iter(self.curves.values())))):
+            out.append(
+                [round_index + 1]
+                + [round(self.curves[scheme][round_index], 3) for scheme in self.curves]
+            )
+        return out
+
+    def render(self) -> str:
+        header = ["round"] + list(self.curves)
+        lines = [f"Figure 5 ({self.dataset}): model accuracy per learning round"]
+        lines.append(format_table(header, self.rows()))
+        for scheme, curve in self.curves.items():
+            lines.append(format_series(scheme, curve))
+        return "\n".join(lines)
+
+
+def run_figure5(dataset_name: str, scale: str = "ci", seed: int = 0, rounds: int | None = None) -> Figure5Result:
+    """Regenerate one panel of Figure 5 (no adversary; utility only)."""
+    curves: dict[str, list[float]] = {}
+    per_client: dict[str, dict[int, dict[int, float]]] = {}
+    fig6_round = 6
+    for scheme in SCHEMES:
+        result, _, params = run_scheme(dataset_name, scheme, scale=scale, seed=seed, rounds=rounds)
+        curves[scheme] = result.accuracy_curve()
+        per_client[scheme] = {r.round_index: r.per_client_accuracy for r in result.rounds}
+        fig6_round = min(params.fig6_round, result.rounds[-1].round_index)
+    return Figure5Result(dataset=dataset_name, curves=curves, per_client=per_client, fig6_round=fig6_round)
+
+
+def shape_checks(result: Figure5Result) -> dict[str, bool]:
+    """The qualitative claims the measured curves must satisfy."""
+    fl = np.array(result.curves["classical-fl"])
+    mixnn = np.array(result.curves["mixnn"])
+    noisy = np.array(result.curves["noisy-gradient"])
+    return {
+        # §4.2: identical aggregation ⇒ identical curves (up to float32 noise).
+        "mixnn_equals_fl": bool(np.allclose(fl, mixnn, atol=1e-3)),
+        "noisy_below_fl_on_average": bool(noisy.mean() < fl.mean()),
+        "fl_learns": bool(fl[-1] > fl[0]),
+    }

@@ -1,0 +1,82 @@
+"""Figure 7 — active ∇Sim inference accuracy vs learning round.
+
+Paper claims (§6.3): without protection the server infers the sensitive
+attribute with near-perfect accuracy (1.00 after 4 rounds on CIFAR10; ~0.80,
+~0.94, ~0.66 after 5 rounds on MotionSense, MobiAct, LFW); MixNN stays at the
+random guess (0.33 on CIFAR10's 3-way preference, ~0.5 elsewhere); noisy
+gradient leaks less than classical FL but much more than MixNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .common import SCHEMES, run_scheme
+from .reporting import format_series, format_table
+
+__all__ = ["Figure7Result", "run_figure7", "shape_checks"]
+
+
+@dataclass
+class Figure7Result:
+    """Cumulative inference-accuracy curves per scheme."""
+
+    dataset: str
+    curves: dict[str, list[float]]
+    random_guess: float
+
+    def render(self) -> str:
+        lines = [
+            f"Figure 7 ({self.dataset}): active ∇Sim inference accuracy per round "
+            f"(random guess = {self.random_guess:.2f})"
+        ]
+        header = ["round"] + list(self.curves)
+        rows = []
+        for round_index in range(len(next(iter(self.curves.values())))):
+            rows.append(
+                [round_index + 1]
+                + [round(self.curves[scheme][round_index], 3) for scheme in self.curves]
+            )
+        lines.append(format_table(header, rows))
+        for scheme, curve in self.curves.items():
+            lines.append(format_series(scheme, curve))
+        return "\n".join(lines)
+
+
+def run_figure7(
+    dataset_name: str,
+    scale: str = "ci",
+    seed: int = 0,
+    rounds: int | None = None,
+    attack_mode: str = "active",
+) -> Figure7Result:
+    """Regenerate one panel of Figure 7 (the paper's active worst case)."""
+    curves: dict[str, list[float]] = {}
+    guess = 0.5
+    for scheme in SCHEMES:
+        result, dataset, _ = run_scheme(
+            dataset_name, scheme, scale=scale, seed=seed, rounds=rounds, attack_mode=attack_mode
+        )
+        curves[scheme] = result.inference_curve()
+        guess = dataset.random_guess_accuracy
+    return Figure7Result(dataset=dataset_name, curves=curves, random_guess=guess)
+
+
+def shape_checks(result: Figure7Result) -> dict[str, bool]:
+    from .reporting import PAPER_CLAIMS
+
+    fl = np.array(result.curves["classical-fl"])
+    mixnn = np.array(result.curves["mixnn"])
+    noisy = np.array(result.curves["noisy-gradient"])
+    guess = result.random_guess
+    # LFW is the paper's weakest leak (0.66) while CIFAR10 reaches 1.00; the
+    # leak threshold follows the paper's per-dataset reference with slack.
+    expected_fl = PAPER_CLAIMS["figure7"]["classical_fl"].get(result.dataset, 0.8)
+    return {
+        "fl_leaks_strongly": bool(fl[-1] >= max(guess + 0.1, expected_fl - 0.2)),
+        "mixnn_near_random_guess": bool(abs(mixnn.mean() - guess) <= 0.15),
+        "noisy_between": bool(guess + 0.05 <= noisy.mean() <= fl.mean() + 1e-9),
+        "ordering_fl_ge_noisy_ge_mixnn": bool(fl.mean() >= noisy.mean() >= mixnn.mean() - 0.05),
+    }

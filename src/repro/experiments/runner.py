@@ -1,0 +1,82 @@
+"""Command-line experiment runner.
+
+Regenerate any table or figure of the paper::
+
+    python -m repro.experiments.runner figure5 --dataset cifar10
+    python -m repro.experiments.runner figure7 --dataset all
+    python -m repro.experiments.runner system
+    python -m repro.experiments.runner all --dataset all
+
+Each command prints the measured rows/series next to the paper's claims and
+the qualitative shape checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..data import DATASETS
+from . import figure5, figure6, figure7, figure8, figure9, system_perf
+from .reporting import PAPER_CLAIMS
+
+__all__ = ["main", "run_experiment"]
+
+EXPERIMENTS = ("figure5", "figure6", "figure7", "figure8", "figure9", "system")
+
+
+def _render_checks(checks: dict[str, bool]) -> str:
+    return "\n".join(f"  [{'ok' if passed else 'FAIL'}] {name}" for name, passed in checks.items())
+
+
+def run_experiment(name: str, dataset: str, scale: str, seed: int) -> str:
+    """Run one experiment for one dataset; return the printed report."""
+    lines = [f"== {name} / {dataset} (scale={scale}, seed={seed}) =="]
+    if name in PAPER_CLAIMS:
+        lines.append(f"paper: {PAPER_CLAIMS[name]['statement']}")
+    if name == "figure5":
+        result = figure5.run_figure5(dataset, scale=scale, seed=seed)
+        lines += [result.render(), _render_checks(figure5.shape_checks(result))]
+    elif name == "figure6":
+        result = figure6.run_figure6(dataset, scale=scale, seed=seed)
+        lines += [result.render(), _render_checks(figure6.shape_checks(result))]
+    elif name == "figure7":
+        result = figure7.run_figure7(dataset, scale=scale, seed=seed)
+        lines += [result.render(), _render_checks(figure7.shape_checks(result))]
+    elif name == "figure8":
+        result = figure8.run_figure8(dataset, scale=scale, seed=seed)
+        lines += [result.render(), _render_checks(figure8.shape_checks(result))]
+    elif name == "figure9":
+        result = figure9.run_figure9(dataset, scale=scale, seed=seed)
+        lines += [result.render(), _render_checks(figure9.shape_checks(result))]
+    elif name == "system":
+        results = system_perf.run_system_perf(seed=seed)
+        lines.append(system_perf.render(results))
+    else:
+        raise KeyError(f"unknown experiment {name!r}; choose from {EXPERIMENTS} or 'all'")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("experiment", choices=EXPERIMENTS + ("all",))
+    parser.add_argument("--dataset", default="motionsense", help="dataset name or 'all'")
+    parser.add_argument("--scale", default="ci", choices=("ci", "paper"))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    experiments = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    datasets = tuple(DATASETS) if args.dataset == "all" else (args.dataset,)
+    for experiment in experiments:
+        if experiment == "system":
+            print(run_experiment(experiment, "-", args.scale, args.seed))
+            print()
+            continue
+        for dataset in datasets:
+            print(run_experiment(experiment, dataset, args.scale, args.seed))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""``repro.federated`` — the federated-learning substrate (Figure 2 flow)."""
+
+from .aggregation import coordinate_median, norm_filtered_mean, trimmed_mean
+from .client import (
+    FederatedClient,
+    LocalTrainingConfig,
+    evaluate_accuracy,
+    train_locally,
+)
+from .server import AggregationServer, ServerObserver
+from .simulation import (
+    FederatedSimulation,
+    RoundRecord,
+    SimulationConfig,
+    SimulationResult,
+)
+from .update import (
+    ModelUpdate,
+    aggregate_states,
+    aggregate_updates,
+    layer_groups,
+    state_delta,
+)
+
+__all__ = [
+    "ModelUpdate",
+    "layer_groups",
+    "aggregate_states",
+    "aggregate_updates",
+    "coordinate_median",
+    "trimmed_mean",
+    "norm_filtered_mean",
+    "state_delta",
+    "FederatedClient",
+    "LocalTrainingConfig",
+    "train_locally",
+    "evaluate_accuracy",
+    "AggregationServer",
+    "ServerObserver",
+    "FederatedSimulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "RoundRecord",
+]

@@ -1,0 +1,79 @@
+"""Alternative aggregation rules (extension).
+
+The §4.2 utility-equivalence proof is specific to the *column mean*: a
+per-layer permutation of participants does not change per-layer means.  Other
+aggregation rules used for Byzantine robustness — coordinate-wise median and
+trimmed mean — are permutation-invariant **per coordinate** too, so they are
+also unchanged by mixing; what mixing breaks is any rule that couples
+coordinates *across layers of one participant* (e.g. norm-based update
+filtering).  This module provides the rules and the test suite demonstrates
+both facts, which matters to anyone deploying MixNN in front of a robust
+aggregator.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from .update import ModelUpdate
+
+__all__ = ["coordinate_median", "trimmed_mean", "norm_filtered_mean"]
+
+
+def _stack(updates: list[ModelUpdate], name: str) -> np.ndarray:
+    return np.stack([np.asarray(u.state[name], dtype=np.float32) for u in updates])
+
+
+def coordinate_median(updates: list[ModelUpdate]) -> "OrderedDict[str, np.ndarray]":
+    """Coordinate-wise median of the updates (Byzantine-robust)."""
+    if not updates:
+        raise ValueError("cannot aggregate an empty update list")
+    return OrderedDict(
+        (name, np.median(_stack(updates, name), axis=0).astype(np.float32))
+        for name in updates[0].state
+    )
+
+
+def trimmed_mean(updates: list[ModelUpdate], trim: int = 1) -> "OrderedDict[str, np.ndarray]":
+    """Coordinate-wise mean after dropping the ``trim`` extremes on each side."""
+    if not updates:
+        raise ValueError("cannot aggregate an empty update list")
+    if 2 * trim >= len(updates):
+        raise ValueError(f"trim={trim} removes all of {len(updates)} updates")
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for name in updates[0].state:
+        stacked = np.sort(_stack(updates, name), axis=0)
+        kept = stacked[trim : len(updates) - trim]
+        out[name] = kept.mean(axis=0).astype(np.float32)
+    return out
+
+
+def norm_filtered_mean(
+    updates: list[ModelUpdate],
+    reference: dict,
+    max_norm: float,
+) -> "OrderedDict[str, np.ndarray]":
+    """Mean of updates whose whole-model delta norm is below ``max_norm``.
+
+    This rule couples coordinates across layers of one participant — exactly
+    the kind of aggregation MixNN's mixing does *not* commute with, because a
+    mixed chimera's cross-layer norm differs from any original participant's.
+    """
+    if not updates:
+        raise ValueError("cannot aggregate an empty update list")
+    kept: list[ModelUpdate] = []
+    for update in updates:
+        delta_sq = 0.0
+        for name, value in update.state.items():
+            diff = np.asarray(value, dtype=np.float64) - np.asarray(reference[name], dtype=np.float64)
+            delta_sq += float((diff**2).sum())
+        if np.sqrt(delta_sq) <= max_norm:
+            kept.append(update)
+    if not kept:
+        raise ValueError("norm filter rejected every update")
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for name in kept[0].state:
+        out[name] = _stack(kept, name).mean(axis=0).astype(np.float32)
+    return out

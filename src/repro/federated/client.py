@@ -1,0 +1,114 @@
+"""Federated clients (participants).
+
+Each round, a client receives the broadcast model state, refines it locally
+on its private data (step ❷ of Figure 2 — Adam, a configured number of local
+epochs and batch size, per §6.1.4), and returns a :class:`ModelUpdate` with
+the refined parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..data.base import ArrayDataset, ClientDataset, DataLoader
+from ..nn import Adam, CrossEntropyLoss, Module, Tensor, no_grad
+from ..utils.rng import rng_from_seed, stable_seed
+from .update import ModelUpdate
+
+__all__ = ["LocalTrainingConfig", "FederatedClient", "train_locally", "evaluate_accuracy"]
+
+
+@dataclass(frozen=True)
+class LocalTrainingConfig:
+    """Local-training hyperparameters (paper §6.1.4 per-dataset values)."""
+
+    local_epochs: int = 2
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.local_epochs < 1:
+            raise ValueError(f"local_epochs must be >= 1, got {self.local_epochs}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+
+def train_locally(
+    model: Module,
+    dataset: ArrayDataset,
+    config: LocalTrainingConfig,
+    rng: np.random.Generator,
+) -> float:
+    """Run the local SGD/Adam loop in place; return the final batch loss."""
+    model.train()
+    optimizer = Adam(model.parameters(), lr=config.learning_rate)
+    criterion = CrossEntropyLoss()
+    loader = DataLoader(dataset, batch_size=config.batch_size, rng=rng, shuffle=True)
+    last_loss = float("nan")
+    for _ in range(config.local_epochs):
+        for features, labels in loader:
+            logits = model(Tensor(features))
+            loss = criterion(logits, labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            last_loss = loss.item()
+    return last_loss
+
+
+def evaluate_accuracy(model: Module, dataset: ArrayDataset, batch_size: int = 256) -> float:
+    """Top-1 classification accuracy of ``model`` on ``dataset``."""
+    if len(dataset) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    model.eval()
+    correct = 0
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            features = dataset.features[start : start + batch_size]
+            labels = dataset.labels[start : start + batch_size]
+            logits = model(Tensor(features))
+            correct += int((logits.numpy().argmax(axis=1) == labels).sum())
+    return correct / len(dataset)
+
+
+class FederatedClient:
+    """One participant: local data + a model replica + training config."""
+
+    def __init__(
+        self,
+        data: ClientDataset,
+        model_fn: Callable[[np.random.Generator], Module],
+        config: LocalTrainingConfig,
+        seed: int = 0,
+    ) -> None:
+        self.data = data
+        self.config = config
+        self.seed = seed
+        # The replica's initial weights are immediately overwritten by the
+        # first broadcast; a fixed-seed build keeps construction deterministic.
+        self.model = model_fn(rng_from_seed(seed))
+
+    @property
+    def client_id(self) -> int:
+        return self.data.client_id
+
+    def local_update(self, broadcast_state: dict, round_index: int) -> ModelUpdate:
+        """Refine the broadcast model on local data; return the new state."""
+        self.model.load_state_dict(broadcast_state)
+        rng = rng_from_seed(stable_seed(self.seed, self.client_id, round_index))
+        loss = train_locally(self.model, self.data.train, self.config, rng)
+        return ModelUpdate(
+            sender_id=self.client_id,
+            round_index=round_index,
+            state=self.model.state_dict(),
+            num_samples=len(self.data.train),
+            metadata={"final_loss": loss},
+        )
+
+    def test_accuracy(self, state: dict) -> float:
+        """Accuracy of a given model state on this client's local test data."""
+        self.model.load_state_dict(state)
+        return evaluate_accuracy(self.model, self.data.test)

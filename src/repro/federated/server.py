@@ -1,0 +1,81 @@
+"""Aggregation server.
+
+Implements step ❶ (broadcast) and step ❸ (aggregate) of the classical FL
+flow (Figure 2).  The server is the *adversary* in the paper's threat model
+(§3): hooks allow an attack to observe every received update (passive ∇Sim)
+and to replace the broadcast model (active ∇Sim).  The aggregation logic
+itself is honest in both cases — the paper's malicious server still wants the
+main task to converge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..nn import Module
+from .update import ModelUpdate, aggregate_updates
+
+__all__ = ["ServerObserver", "AggregationServer"]
+
+
+class ServerObserver(Protocol):
+    """Interface for adversarial (or monitoring) observers on the server.
+
+    ``on_round`` is invoked once per round with the state that was broadcast
+    and the updates as the server received them (post-defense, post-proxy).
+    """
+
+    def on_round(self, round_index: int, broadcast_state: dict, updates: list[ModelUpdate]) -> None:
+        ...  # pragma: no cover - protocol
+
+
+class AggregationServer:
+    """FedAvg server with adversarial hooks."""
+
+    def __init__(
+        self,
+        initial_state: dict,
+        sample_weighted: bool = False,
+        broadcast_hook: Callable[[int, dict], dict] | None = None,
+    ) -> None:
+        self.global_state = {k: np.asarray(v, dtype=np.float32).copy() for k, v in initial_state.items()}
+        self.sample_weighted = sample_weighted
+        self.broadcast_hook = broadcast_hook
+        self.observers: list[ServerObserver] = []
+        self.round_index = 0
+        self.received_log: list[list[ModelUpdate]] = []
+
+    @classmethod
+    def from_model(cls, model: Module, **kwargs) -> "AggregationServer":
+        return cls(model.state_dict(), **kwargs)
+
+    def add_observer(self, observer: ServerObserver) -> None:
+        self.observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Round protocol
+    # ------------------------------------------------------------------
+    def broadcast(self) -> dict:
+        """Model state disseminated this round (step ❶).
+
+        A malicious server (active ∇Sim) substitutes a crafted model through
+        ``broadcast_hook``; an honest server sends the current aggregate.
+        """
+        state = self.global_state
+        if self.broadcast_hook is not None:
+            state = self.broadcast_hook(self.round_index, state)
+        self._last_broadcast = {k: v.copy() for k, v in state.items()}
+        return self._last_broadcast
+
+    def receive_and_aggregate(self, updates: list[ModelUpdate]) -> dict:
+        """Aggregate received updates into the next global model (step ❸)."""
+        if not updates:
+            raise ValueError("no updates received this round")
+        for observer in self.observers:
+            observer.on_round(self.round_index, self._last_broadcast, updates)
+        self.received_log.append(updates)
+        self.global_state = aggregate_updates(updates, sample_weighted=self.sample_weighted)
+        self.round_index += 1
+        return self.global_state

@@ -1,0 +1,150 @@
+"""Model-update representation and aggregation algebra.
+
+A :class:`ModelUpdate` is what a participant sends after local training: the
+full refined parameter state (TensorFlow-style FedAvg, as in the paper), keyed
+by parameter name.  Parameter names are grouped into *layers* — the mixing
+unit of the MixNN proxy (a layer's weight and bias travel together, exactly as
+the paper mixes whole layers ``l_1 … l_n``).
+
+Identity model
+--------------
+``sender_id`` is the participant that produced the update.  ``apparent_id``
+is the identity the *server* ascribes to the update: equal to ``sender_id``
+in classical FL, but after MixNN mixing an emitted update is a chimera and
+``apparent_id`` only names the arrival slot the server observes.  Attack
+accuracy is always scored against the apparent participant's true attribute,
+which is what makes the paper's "inference accuracy" measurable in both
+configurations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..nn.serialization import flatten
+
+__all__ = ["ModelUpdate", "layer_groups", "aggregate_states", "aggregate_updates", "state_delta"]
+
+
+def layer_groups(names: list[str] | tuple[str, ...]) -> "OrderedDict[str, list[str]]":
+    """Group parameter names into layers.
+
+    ``"layer0.weight"`` and ``"layer0.bias"`` share the layer key
+    ``"layer0"``; a bare name (no dot) forms its own group.  Order follows
+    first appearance, i.e. network depth for sequentially built models.
+    """
+    groups: "OrderedDict[str, list[str]]" = OrderedDict()
+    for name in names:
+        key = name.rsplit(".", 1)[0] if "." in name else name
+        groups.setdefault(key, []).append(name)
+    return groups
+
+
+@dataclass
+class ModelUpdate:
+    """One participant's post-training parameter state for one round."""
+
+    sender_id: int
+    round_index: int
+    state: "OrderedDict[str, np.ndarray]"
+    num_samples: int = 1
+    apparent_id: int | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.apparent_id is None:
+            self.apparent_id = self.sender_id
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        return tuple(self.state.keys())
+
+    @property
+    def layers(self) -> "OrderedDict[str, list[str]]":
+        return layer_groups(list(self.state.keys()))
+
+    def flat(self) -> np.ndarray:
+        """Concatenated float32 vector of all parameters."""
+        return flatten(self.state)
+
+    def layer_state(self, layer: str) -> "OrderedDict[str, np.ndarray]":
+        """The sub-state belonging to one layer group."""
+        names = self.layers.get(layer)
+        if names is None:
+            raise KeyError(f"unknown layer {layer!r}; have {list(self.layers)}")
+        return OrderedDict((name, self.state[name]) for name in names)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def delta(self, reference: dict) -> "OrderedDict[str, np.ndarray]":
+        """Gradient direction relative to ``reference`` (θ_local − θ_broadcast).
+
+        This is the fingerprint ∇Sim consumes (§5): the direction in which the
+        participant's local data pulled the broadcast model.
+        """
+        return state_delta(self.state, reference)
+
+    def copy(self) -> "ModelUpdate":
+        return replace(self, state=OrderedDict((k, v.copy()) for k, v in self.state.items()))
+
+    def with_state(self, state: "OrderedDict[str, np.ndarray]") -> "ModelUpdate":
+        return replace(self, state=state)
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelUpdate(sender={self.sender_id}, apparent={self.apparent_id}, "
+            f"round={self.round_index}, params={len(self.state)})"
+        )
+
+
+def state_delta(state: dict, reference: dict) -> "OrderedDict[str, np.ndarray]":
+    """Per-parameter difference ``state − reference``."""
+    if set(state) != set(reference):
+        raise KeyError("state and reference have different parameter sets")
+    return OrderedDict(
+        (name, np.asarray(state[name], dtype=np.float32) - np.asarray(reference[name], dtype=np.float32))
+        for name in state
+    )
+
+
+def aggregate_states(states: list[dict], weights: list[float] | None = None) -> "OrderedDict[str, np.ndarray]":
+    """Weighted mean of parameter states (FedAvg's column-mean ``Agr``, §4.2).
+
+    With ``weights=None`` this is the plain mean the utility-equivalence proof
+    assumes.
+    """
+    if not states:
+        raise ValueError("cannot aggregate an empty state list")
+    names = list(states[0].keys())
+    for other in states[1:]:
+        if list(other.keys()) != names:
+            raise KeyError("all states must share the same parameter schema")
+    if weights is None:
+        weights = [1.0] * len(states)
+    if len(weights) != len(states):
+        raise ValueError(f"{len(weights)} weights for {len(states)} states")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for name in names:
+        stacked = np.stack([np.asarray(s[name], dtype=np.float32) for s in states])
+        w = np.asarray(weights, dtype=np.float32).reshape((-1,) + (1,) * (stacked.ndim - 1))
+        out[name] = (stacked * w).sum(axis=0) / total
+    return out
+
+
+def aggregate_updates(
+    updates: list[ModelUpdate],
+    sample_weighted: bool = False,
+) -> "OrderedDict[str, np.ndarray]":
+    """Aggregate updates; plain mean by default (paper §4.2)."""
+    weights = [float(u.num_samples) for u in updates] if sample_weighted else None
+    return aggregate_states([u.state for u in updates], weights)

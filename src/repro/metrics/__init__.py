@@ -1,0 +1,16 @@
+"""``repro.metrics`` — utility, privacy and systems metrics (§6.1.2)."""
+
+from .accuracy import model_accuracy, per_client_accuracies
+from .cdf import empirical_cdf
+from .privacy import inference_accuracy, leakage_above_guess
+from .latency import LatencySummary, summarize_latencies
+
+__all__ = [
+    "model_accuracy",
+    "per_client_accuracies",
+    "inference_accuracy",
+    "leakage_above_guess",
+    "empirical_cdf",
+    "LatencySummary",
+    "summarize_latencies",
+]

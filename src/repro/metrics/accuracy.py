@@ -1,0 +1,36 @@
+"""Utility metrics: main-task model accuracy (§6.1.2)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..data.base import ArrayDataset, ClientDataset
+from ..federated.client import evaluate_accuracy
+from ..nn import Module
+from ..utils.rng import rng_from_seed
+
+__all__ = ["model_accuracy", "per_client_accuracies"]
+
+
+def model_accuracy(
+    state: dict,
+    dataset: ArrayDataset,
+    model_fn: Callable[[np.random.Generator], Module],
+) -> float:
+    """Accuracy of a model *state* on a dataset (builds a scratch replica)."""
+    model = model_fn(rng_from_seed(0))
+    model.load_state_dict(state)
+    return evaluate_accuracy(model, dataset)
+
+
+def per_client_accuracies(
+    state: dict,
+    clients: list[ClientDataset],
+    model_fn: Callable[[np.random.Generator], Module],
+) -> dict[int, float]:
+    """Global-model accuracy on each client's local test data (Figure 6)."""
+    model = model_fn(rng_from_seed(0))
+    model.load_state_dict(state)
+    return {client.client_id: evaluate_accuracy(model, client.test) for client in clients}

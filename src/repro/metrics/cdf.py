@@ -1,0 +1,21 @@
+"""Empirical CDFs for the distributional figures (Figures 6 and 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["empirical_cdf"]
+
+
+def empirical_cdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_probability)``.
+
+    ``cumulative_probability[i]`` is the fraction of observations ≤
+    ``sorted_values[i]`` — the series plotted in Figures 6 and 9.
+    """
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot compute the CDF of an empty sample")
+    ordered = np.sort(values)
+    probabilities = np.arange(1, ordered.size + 1) / ordered.size
+    return ordered, probabilities

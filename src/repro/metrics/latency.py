@@ -1,0 +1,43 @@
+"""Latency summaries for the systems evaluation (§6.5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencySummary", "summarize_latencies"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregate statistics over per-update processing times (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def as_row(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_s": round(self.mean, 4),
+            "p50_s": round(self.p50, 4),
+            "p95_s": round(self.p95, 4),
+            "max_s": round(self.maximum, 4),
+        }
+
+
+def summarize_latencies(samples) -> LatencySummary:
+    """Summarize a sequence of latency samples."""
+    values = np.asarray(list(samples), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty latency sample")
+    return LatencySummary(
+        count=int(values.size),
+        mean=float(values.mean()),
+        p50=float(np.percentile(values, 50)),
+        p95=float(np.percentile(values, 95)),
+        maximum=float(values.max()),
+    )

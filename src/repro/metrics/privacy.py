@@ -1,0 +1,27 @@
+"""Privacy metrics: attribute-inference accuracy (§6.1.2).
+
+Inference accuracy above the random-guess baseline indicates leakage: "with a
+balanced dataset over the gender, an accuracy above 50 % indicates a data
+leakage through attribute inference attack".
+"""
+
+from __future__ import annotations
+
+__all__ = ["inference_accuracy", "leakage_above_guess"]
+
+
+def inference_accuracy(predictions: dict[int, int], truth: dict[int, int]) -> float:
+    """Fraction of participants whose sensitive attribute was inferred."""
+    common = [p for p in predictions if p in truth]
+    if not common:
+        raise ValueError("no participants in common between predictions and truth")
+    return sum(predictions[p] == truth[p] for p in common) / len(common)
+
+
+def leakage_above_guess(accuracy: float, random_guess: float) -> float:
+    """Leakage margin: inference accuracy minus the blind-guess baseline.
+
+    Zero or negative means the adversary learned nothing; the paper's MixNN
+    results sit at ≈0 while classical FL reaches ``1 − random_guess``.
+    """
+    return accuracy - random_guess

@@ -1,0 +1,52 @@
+"""``repro.mixnn`` — the paper's core contribution.
+
+The layer-mixing machinery (:mod:`~repro.mixnn.mixing`), the streaming proxy
+(:mod:`~repro.mixnn.proxy`), the participant↔enclave wire format and hybrid
+encryption (:mod:`~repro.mixnn.transport`, :mod:`~repro.mixnn.crypto`), the
+SGX enclave simulator (:mod:`~repro.mixnn.enclave`), and the oblivious list
+storage (:mod:`~repro.mixnn.oram`).
+"""
+
+from .crypto import CryptoError, KeyPair, PublicKey, decrypt, encrypt, generate_keypair
+from .enclave import (
+    EPC_RESERVED_BYTES,
+    EPC_USABLE_BYTES,
+    AttestationQuote,
+    EnclaveCostModel,
+    EnclaveError,
+    SGXEnclaveSim,
+)
+from .mixing import Granularity, is_valid_mixing_matrix, mix_updates, mixing_matrix
+from .mixnet import MixCascade, MixNode, onion_encrypt
+from .oram import ObliviousList
+from .proxy import MixNNProxy, ProxyStats
+from .transport import EncryptedUpdate, pack_update, unpack_update, update_nbytes
+
+__all__ = [
+    "mixing_matrix",
+    "is_valid_mixing_matrix",
+    "mix_updates",
+    "Granularity",
+    "MixNNProxy",
+    "ProxyStats",
+    "SGXEnclaveSim",
+    "EnclaveCostModel",
+    "EnclaveError",
+    "AttestationQuote",
+    "EPC_USABLE_BYTES",
+    "EPC_RESERVED_BYTES",
+    "KeyPair",
+    "PublicKey",
+    "generate_keypair",
+    "encrypt",
+    "decrypt",
+    "CryptoError",
+    "EncryptedUpdate",
+    "pack_update",
+    "unpack_update",
+    "update_nbytes",
+    "ObliviousList",
+    "MixNode",
+    "MixCascade",
+    "onion_encrypt",
+]

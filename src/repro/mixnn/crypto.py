@@ -1,0 +1,220 @@
+"""Hybrid encryption for participant→enclave traffic.
+
+Participants encrypt their parameter updates with the enclave's public key so
+only the MixNN proxy can read them (§4.1/§4.3).  This module implements the
+whole scheme from scratch on the standard library:
+
+* **KEM** — textbook RSA (Miller–Rabin prime generation, ``e = 65537``) with
+  random pre-key padding; the RSA-encrypted value is a fresh 256-bit session
+  key per message;
+* **DEM** — a SHA-256-based counter-mode stream cipher under the session key;
+* **Integrity** — HMAC-SHA256 over nonce and ciphertext (encrypt-then-MAC).
+
+This is a *functional reproduction* of the pipeline (sizes, flow and failure
+modes), adequate for the systems evaluation it supports.  It is **not**
+audited, constant-time, production cryptography — a real deployment would use
+RSA-OAEP/HPKE from a vetted library.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import hmac as hmac_mod
+import secrets
+from dataclasses import dataclass
+
+__all__ = [
+    "KeyPair",
+    "PublicKey",
+    "encrypt",
+    "decrypt",
+    "CryptoError",
+    "generate_keypair",
+    "process_keypair",
+]
+
+_E = 65537
+_SESSION_KEY_BYTES = 32
+_NONCE_BYTES = 16
+
+
+class CryptoError(Exception):
+    """Raised on malformed or tampered ciphertexts."""
+
+
+# ----------------------------------------------------------------------
+# Prime generation (Miller–Rabin)
+# ----------------------------------------------------------------------
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71]
+
+
+def _is_probable_prime(n: int, rounds: int = 40) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = secrets.randbelow(n - 3) + 2
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int) -> int:
+    while True:
+        candidate = secrets.randbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate):
+            return candidate
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PublicKey:
+    """RSA public key ``(n, e)``."""
+
+    n: int
+    e: int = _E
+
+    @property
+    def modulus_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def fingerprint(self) -> str:
+        """Short identifier used in attestation reports."""
+        digest = hashlib.sha256(self.n.to_bytes(self.modulus_bytes, "big")).hexdigest()
+        return digest[:16]
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """RSA key pair held by the enclave (private exponent never leaves it)."""
+
+    public: PublicKey
+    d: int  # private exponent
+
+    @property
+    def n(self) -> int:
+        return self.public.n
+
+
+def process_keypair(bits: int = 1024) -> KeyPair:
+    """A process-wide cached key pair for simulation components.
+
+    Prime generation costs ~0.2 s; experiment sweeps and test suites that
+    build many enclaves share one key pair through this helper.  Anything
+    modelling *distinct* enclaves should call :func:`generate_keypair`.
+    """
+    return _cached_keypair(bits)
+
+
+@functools.lru_cache(maxsize=4)
+def _cached_keypair(bits: int) -> KeyPair:
+    return generate_keypair(bits)
+
+
+def generate_keypair(bits: int = 1024) -> KeyPair:
+    """Generate an RSA key pair with a ``bits``-bit modulus."""
+    if bits < 512:
+        raise ValueError(f"modulus must be at least 512 bits, got {bits}")
+    half = bits // 2
+    while True:
+        p = _random_prime(half)
+        q = _random_prime(bits - half)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % _E == 0:
+            continue
+        d = pow(_E, -1, phi)
+        return KeyPair(public=PublicKey(n=n), d=d)
+
+
+# ----------------------------------------------------------------------
+# Stream cipher + MAC
+# ----------------------------------------------------------------------
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """SHA-256 counter-mode keystream."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def _mac(key: bytes, *parts: bytes) -> bytes:
+    tag = hmac_mod.new(key, digestmod=hashlib.sha256)
+    for part in parts:
+        tag.update(part)
+    return tag.digest()
+
+
+# ----------------------------------------------------------------------
+# Hybrid encrypt / decrypt
+# ----------------------------------------------------------------------
+def encrypt(public: PublicKey, plaintext: bytes) -> bytes:
+    """Encrypt ``plaintext`` to the enclave's public key.
+
+    Wire format: ``len(kem) || kem || nonce || mac || body``.
+    """
+    session_key = secrets.token_bytes(_SESSION_KEY_BYTES)
+    # Random pre-key padding so identical session keys never repeat as ints.
+    padding = secrets.token_bytes(public.modulus_bytes - _SESSION_KEY_BYTES - 3)
+    padded = b"\x00\x02" + padding + b"\x00" + session_key
+    m = int.from_bytes(padded, "big")
+    if m >= public.n:
+        raise CryptoError("padded key does not fit the modulus")
+    kem = pow(m, public.e, public.n).to_bytes(public.modulus_bytes, "big")
+    nonce = secrets.token_bytes(_NONCE_BYTES)
+    enc_key = hashlib.sha256(session_key + b"enc").digest()
+    mac_key = hashlib.sha256(session_key + b"mac").digest()
+    body = _xor(plaintext, _keystream(enc_key, nonce, len(plaintext)))
+    mac = _mac(mac_key, nonce, body)
+    return len(kem).to_bytes(2, "big") + kem + nonce + mac + body
+
+
+def decrypt(keypair: KeyPair, ciphertext: bytes) -> bytes:
+    """Decrypt a message produced by :func:`encrypt`; raises on tampering."""
+    try:
+        kem_len = int.from_bytes(ciphertext[:2], "big")
+        kem = ciphertext[2 : 2 + kem_len]
+        offset = 2 + kem_len
+        nonce = ciphertext[offset : offset + _NONCE_BYTES]
+        mac = ciphertext[offset + _NONCE_BYTES : offset + _NONCE_BYTES + 32]
+        body = ciphertext[offset + _NONCE_BYTES + 32 :]
+        if len(kem) != kem_len or len(nonce) != _NONCE_BYTES or len(mac) != 32:
+            raise CryptoError("truncated ciphertext")
+    except (IndexError, OverflowError) as exc:
+        raise CryptoError("malformed ciphertext") from exc
+    padded = pow(int.from_bytes(kem, "big"), keypair.d, keypair.n)
+    raw = padded.to_bytes(keypair.public.modulus_bytes, "big")
+    if raw[:2] != b"\x00\x02":
+        raise CryptoError("KEM padding check failed")
+    session_key = raw[-_SESSION_KEY_BYTES:]
+    enc_key = hashlib.sha256(session_key + b"enc").digest()
+    mac_key = hashlib.sha256(session_key + b"mac").digest()
+    expected = _mac(mac_key, nonce, body)
+    if not hmac_mod.compare_digest(mac, expected):
+        raise CryptoError("MAC verification failed (tampered message)")
+    return _xor(body, _keystream(enc_key, nonce, len(body)))

@@ -1,0 +1,196 @@
+"""The MixNN proxy (§4.1, §4.3).
+
+The proxy sits between participants and the aggregation server, inside an
+(simulated) SGX enclave.  Operation, following §4.3:
+
+1. each incoming encrypted update is decrypted inside the enclave and split
+   by layer into per-layer lists of capacity ``k``;
+2. the first ``k`` updates only fill the lists;
+3. once the lists are full, every further arrival triggers an emission: the
+   proxy draws one element *uniformly at random* from each layer list,
+   composes them into an outgoing update for the server, and stores the
+   incoming update's layers in the freed slots;
+4. at the end of a round :meth:`MixNNProxy.flush` drains the lists so every
+   (participant, layer) piece is forwarded exactly once — the condition the
+   §4.2 utility-equivalence proof needs.
+
+The server-side identity of an emitted update (``apparent_id``) is the oldest
+participant whose update entered the proxy and has not yet been attributed —
+i.e. what a server correlating arrival order would assume.  Inference
+accuracy under MixNN is scored against these apparent identities.
+
+Layer lists use :class:`~repro.mixnn.oram.ObliviousList` so the slot access
+pattern does not leak which participant's layer was selected, and all
+decryption/storage/mixing work is charged to the enclave's cost model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..federated.update import ModelUpdate, layer_groups
+from .enclave import SGXEnclaveSim
+from .mixing import _mixing_units
+from .oram import ObliviousList
+from .transport import EncryptedUpdate, pack_update, unpack_update, update_nbytes
+
+__all__ = ["MixNNProxy", "ProxyStats"]
+
+
+@dataclass
+class ProxyStats:
+    """Operational counters for the systems evaluation (§6.5)."""
+
+    received: int = 0
+    emitted: int = 0
+    flushes: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+
+class MixNNProxy:
+    """Streaming layer-mixing proxy hosted in a (simulated) SGX enclave."""
+
+    def __init__(
+        self,
+        enclave: SGXEnclaveSim | None = None,
+        k: int = 4,
+        rng: np.random.Generator | None = None,
+        granularity: str = "layer",
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"list capacity k must be >= 1, got {k}")
+        self.enclave = enclave or SGXEnclaveSim()
+        self.k = k
+        self.rng = rng or np.random.default_rng()
+        self.granularity = granularity
+        self.stats = ProxyStats()
+        # Lazily keyed off the first update's schema.
+        self._units: list[tuple[str, ...]] | None = None
+        self._schema: tuple[str, ...] | None = None
+        self._lists: "OrderedDict[int, ObliviousList]" = OrderedDict()
+        self._pending_ids: deque[int] = deque()
+        self._round_index = 0
+
+    # ------------------------------------------------------------------
+    # Participant-facing helpers
+    # ------------------------------------------------------------------
+    @property
+    def public_key(self):
+        return self.enclave.public_key
+
+    def encrypt_for_proxy(self, update: ModelUpdate) -> EncryptedUpdate:
+        """What a participant's device does before upload."""
+        return pack_update(update, self.public_key)
+
+    # ------------------------------------------------------------------
+    # Internal schema handling
+    # ------------------------------------------------------------------
+    def _ensure_schema(self, update: ModelUpdate) -> None:
+        if self._schema is None:
+            self._schema = update.parameter_names
+            self._units = [tuple(u) for u in _mixing_units(update, self.granularity)]
+            self._lists = OrderedDict((i, ObliviousList(self.k)) for i in range(len(self._units)))
+        elif update.parameter_names != self._schema:
+            raise KeyError("update schema differs from the proxy's configured model")
+
+    def _store(self, update: ModelUpdate) -> None:
+        for unit_index, unit in enumerate(self._units):
+            piece = OrderedDict((name, update.state[name]) for name in unit)
+            self._lists[unit_index].insert((piece, update.sender_id))
+        self._pending_ids.append(update.sender_id)
+
+    def _compose(self) -> ModelUpdate:
+        """Draw one random element per layer list and emit a mixed update."""
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        sources: list[int] = []
+        for unit_index, unit in enumerate(self._units):
+            layer_list = self._lists[unit_index]
+            choice = int(self.rng.integers(len(layer_list)))
+            piece, source = layer_list.take(choice)
+            sources.append(source)
+            for name in unit:
+                state[name] = piece[name]
+        state = OrderedDict((name, state[name]) for name in self._schema)
+        apparent = self._pending_ids.popleft()
+        emitted = ModelUpdate(
+            sender_id=-1,
+            apparent_id=apparent,
+            round_index=self._round_index,
+            state=state,
+            metadata={"mixed": True, "granularity": self.granularity, "unit_sources": sources},
+        )
+        self.stats.emitted += 1
+        self.stats.bytes_out += update_nbytes(emitted)
+        self.enclave.free(update_nbytes(emitted))
+        return emitted
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    def receive(self, message: EncryptedUpdate) -> ModelUpdate | None:
+        """Process one encrypted arrival; emit a mixed update once warm.
+
+        Returns ``None`` during the initial fill of the ``k``-lists (§4.3:
+        "the proxy needs to initialize first each list with k updates before
+        to send updates").
+        """
+        plaintext = self.enclave.decrypt_update(message.ciphertext)
+        update = unpack_update(plaintext)
+        # Re-account: the serialized blob is replaced by the parsed arrays.
+        self.enclave.free(len(plaintext))
+        self.enclave.allocate(update_nbytes(update))
+        self._ensure_schema(update)
+        self._round_index = update.round_index
+        self.stats.received += 1
+        self.stats.bytes_in += len(message.ciphertext)
+
+        if not self._lists[0].full:
+            self._store(update)
+            return None
+        # Lists full: emit first (frees one slot per list), then store.
+        self.enclave.charge_mixing(1)
+        emitted = self._compose()
+        self._store(update)
+        return emitted
+
+    def flush(self) -> list[ModelUpdate]:
+        """Drain the layer lists at the end of a round.
+
+        Guarantees every stored (participant, layer) piece is forwarded
+        exactly once, preserving the aggregate (§4.2).
+        """
+        out: list[ModelUpdate] = []
+        while self._lists and len(self._lists[0]) > 0:
+            self.enclave.charge_mixing(1)
+            out.append(self._compose())
+        self.stats.flushes += 1
+        return out
+
+    def process_round(self, messages: list[EncryptedUpdate]) -> list[ModelUpdate]:
+        """Convenience: stream a whole round's messages, then flush.
+
+        With ``C`` arrivals this emits exactly ``C`` mixed updates
+        (``C − k`` during streaming, ``k`` at flush), i.e. the §4.2 case
+        ``L = C``.
+        """
+        emitted: list[ModelUpdate] = []
+        for message in messages:
+            maybe = self.receive(message)
+            if maybe is not None:
+                emitted.append(maybe)
+        emitted.extend(self.flush())
+        return emitted
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Number of updates currently buffered."""
+        return len(self._lists[0]) if self._lists else 0
+
+    def __repr__(self) -> str:
+        return f"MixNNProxy(k={self.k}, granularity={self.granularity!r}, pending={self.pending()})"

@@ -1,0 +1,72 @@
+"""Wire format between participants, the MixNN proxy, and the server.
+
+Participants serialize their update state to a compact ``.npz`` blob, prepend
+an envelope (sender slot, round), and encrypt the whole message to the
+enclave's public key (§4.1).  The proxy decrypts inside the enclave and
+re-materializes a :class:`~repro.federated.update.ModelUpdate`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..federated.update import ModelUpdate
+from ..nn.serialization import state_from_bytes, state_to_bytes
+from .crypto import PublicKey, encrypt
+
+__all__ = ["EncryptedUpdate", "pack_update", "unpack_update", "update_nbytes"]
+
+_HEADER_LEN_BYTES = 4
+
+
+@dataclass(frozen=True)
+class EncryptedUpdate:
+    """Ciphertext plus the routing metadata a network proxy would see."""
+
+    ciphertext: bytes
+    #: transport-level identity (e.g. the TLS connection); NOT inside the
+    #: ciphertext and never forwarded to the aggregation server.
+    transport_id: int
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.ciphertext)
+
+
+def _envelope(update: ModelUpdate) -> bytes:
+    header = json.dumps(
+        {
+            "sender_id": update.sender_id,
+            "round_index": update.round_index,
+            "num_samples": update.num_samples,
+        }
+    ).encode()
+    return len(header).to_bytes(_HEADER_LEN_BYTES, "big") + header
+
+
+def pack_update(update: ModelUpdate, public_key: PublicKey) -> EncryptedUpdate:
+    """Serialize and encrypt one update for the enclave."""
+    plaintext = _envelope(update) + state_to_bytes(update.state)
+    return EncryptedUpdate(
+        ciphertext=encrypt(public_key, plaintext),
+        transport_id=update.sender_id,
+    )
+
+
+def unpack_update(plaintext: bytes) -> ModelUpdate:
+    """Re-materialize an update from a decrypted message."""
+    header_len = int.from_bytes(plaintext[:_HEADER_LEN_BYTES], "big")
+    header = json.loads(plaintext[_HEADER_LEN_BYTES : _HEADER_LEN_BYTES + header_len].decode())
+    state = state_from_bytes(plaintext[_HEADER_LEN_BYTES + header_len :])
+    return ModelUpdate(
+        sender_id=int(header["sender_id"]),
+        round_index=int(header["round_index"]),
+        num_samples=int(header["num_samples"]),
+        state=state,
+    )
+
+
+def update_nbytes(update: ModelUpdate) -> int:
+    """In-enclave memory footprint of one update (raw float32 payload)."""
+    return int(sum(v.nbytes for v in update.state.values()))

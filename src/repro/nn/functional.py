@@ -1,0 +1,290 @@
+"""Functional neural-network operations with autograd support.
+
+Implements the operations required by the architectures in the MixNN paper:
+
+* 2-D convolution (the two/three convolutional layers of the CIFAR10 /
+  MotionSense / MobiAct model),
+* non-overlapping max pooling,
+* locally connected 2-D layers (the distinguishing ingredient of the
+  DeepFace-style architecture used for LFW),
+* softmax / log-softmax / cross-entropy,
+* dropout.
+
+Convolution is implemented with ``im2col``/``col2im`` over
+``numpy.lib.stride_tricks`` so the heavy lifting stays inside BLAS matmuls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from .tensor import Tensor, as_tensor, is_grad_enabled
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "locally_connected2d",
+    "linear",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "dropout",
+    "one_hot",
+]
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im plumbing
+# ----------------------------------------------------------------------
+def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int = 1) -> np.ndarray:
+    """Lower image patches to columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel:
+        ``(KH, KW)`` patch size.
+    stride:
+        Patch stride (same in both spatial dimensions).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(N, C * KH * KW, OH, OW)``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    sn, sc, sh, sw = x.strides
+    windows = as_strided(
+        x,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # (N, C, OH, OW, KH, KW) -> (N, C, KH, KW, OH, OW) -> (N, C*KH*KW, OH, OW)
+    cols = np.ascontiguousarray(windows.transpose(0, 1, 4, 5, 2, 3))
+    return cols.reshape(n, c * kh * kw, oh, ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: int = 1,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into an image."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    out = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += cols[:, :, i, j]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Convolution / pooling / locally connected layers
+# ----------------------------------------------------------------------
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution over an ``(N, C, H, W)`` input.
+
+    ``weight`` has shape ``(O, C, KH, KW)`` and ``bias`` shape ``(O,)``.
+    """
+    x = as_tensor(x)
+    if padding:
+        x = x.pad2d(padding)
+    n, c, h, w = x.shape
+    o, c_w, kh, kw = weight.shape
+    if c != c_w:
+        raise ValueError(f"channel mismatch: input has {c}, weight expects {c_w}")
+    cols = im2col(x.data, (kh, kw), stride)  # (N, C*KH*KW, OH, OW)
+    _, k, oh, ow = cols.shape
+    flat_cols = cols.reshape(n, k, oh * ow)
+    w_flat = weight.data.reshape(o, k)
+    out_data = np.einsum("ok,nkp->nop", w_flat, flat_cols, optimize=True).reshape(n, o, oh, ow)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, o, 1, 1)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(n, o, oh * ow)
+        if weight.requires_grad:
+            dw = np.einsum("nop,nkp->ok", grad_flat, flat_cols, optimize=True)
+            weight._accumulate(dw.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            dcols = np.einsum("ok,nop->nkp", w_flat, grad_flat, optimize=True)
+            dx = col2im(dcols.reshape(n, k, oh, ow), (n, c, h, w), (kh, kw), stride)
+            x._accumulate(dx)
+
+    return Tensor._make(out_data, parents, backward, "conv2d")
+
+
+def max_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Non-overlapping max pooling with ``stride == kernel``.
+
+    Spatial dimensions must be divisible by ``kernel`` (the experiment
+    architectures are sized so this always holds).
+    """
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by pool kernel {kernel}")
+    oh, ow = h // kernel, w // kernel
+    blocks = x.data.reshape(n, c, oh, kernel, ow, kernel)
+    out_data = blocks.max(axis=(3, 5))
+    mask = blocks == out_data[:, :, :, None, :, None]
+    # Break ties deterministically: scale by inverse tie-count.
+    counts = mask.sum(axis=(3, 5), keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            g = grad[:, :, :, None, :, None] * mask / counts
+            x._accumulate(g.reshape(n, c, h, w))
+
+    return Tensor._make(out_data, (x,), backward, "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Non-overlapping average pooling with ``stride == kernel``."""
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by pool kernel {kernel}")
+    oh, ow = h // kernel, w // kernel
+    blocks = x.data.reshape(n, c, oh, kernel, ow, kernel)
+    out_data = blocks.mean(axis=(3, 5))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            g = np.broadcast_to(
+                grad[:, :, :, None, :, None] / (kernel * kernel),
+                (n, c, oh, kernel, ow, kernel),
+            )
+            x._accumulate(g.reshape(n, c, h, w).copy())
+
+    return Tensor._make(out_data, (x,), backward, "avg_pool2d")
+
+
+def locally_connected2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+) -> Tensor:
+    """Locally connected layer: convolution with *untied* weights.
+
+    ``weight`` has shape ``(O, OH, OW, C * KH * KW)`` — each output location
+    owns its own filter bank, exactly as in DeepFace's L-layers.  ``bias`` has
+    shape ``(O, OH, OW)``.  ``KH``/``KW`` are inferred from the weight and
+    input geometry.
+    """
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    o, oh, ow, k = weight.shape
+    # Solve the (square) kernel size from k = C * KH * KW and the geometry.
+    khw = k // c
+    kh = int(round(khw**0.5))
+    kw = khw // kh
+    if c * kh * kw != k:
+        raise ValueError(f"weight patch size {k} incompatible with {c} input channels")
+    expected_oh = (h - kh) // stride + 1
+    expected_ow = (w - kw) // stride + 1
+    if (oh, ow) != (expected_oh, expected_ow):
+        raise ValueError(
+            f"weight spatial shape {(oh, ow)} does not match computed output {(expected_oh, expected_ow)}"
+        )
+    cols = im2col(x.data, (kh, kw), stride)  # (N, K, OH, OW)
+    out_data = np.einsum("oyxk,nkyx->noyx", weight.data, cols, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data[None]
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            dw = np.einsum("noyx,nkyx->oyxk", grad, cols, optimize=True)
+            weight._accumulate(dw)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=0))
+        if x.requires_grad:
+            dcols = np.einsum("oyxk,noyx->nkyx", weight.data, grad, optimize=True)
+            x._accumulate(col2im(dcols, (n, c, h, w), (kh, kw), stride))
+
+    return Tensor._make(out_data, parents, backward, "locally_connected2d")
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape ``(out, in)``."""
+    out = as_tensor(x) @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# ----------------------------------------------------------------------
+# Softmax family and losses
+# ----------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer ``labels`` as a one-hot float matrix."""
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros((labels.size, num_classes), dtype=np.float32)
+    out[np.arange(labels.size), labels.ravel()] = 1.0
+    return out.reshape(*labels.shape, num_classes)
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer ``labels`` under ``log_probs``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    picked = log_probs[np.arange(labels.shape[0]), labels]
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Numerically stable softmax cross-entropy with integer labels."""
+    return nll_loss(log_softmax(logits, axis=-1), labels)
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    diff = as_tensor(prediction) - as_tensor(target)
+    return (diff * diff).mean()
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or rate is zero."""
+    if not training or rate <= 0.0 or not is_grad_enabled():
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float32) / keep
+    return x * Tensor(mask)

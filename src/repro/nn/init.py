@@ -1,0 +1,50 @@
+"""Weight initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that
+model construction is fully reproducible — a hard requirement for ∇Sim, whose
+reference models must be retrainable bit-for-bit from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "he_uniform", "zeros", "normal"]
+
+
+def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and convolutional weight shapes."""
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:  # (out, in)
+        return shape[1], shape[0]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform — TensorFlow's default dense/conv initializer."""
+    fan_in, fan_out = _fan(shape)
+    limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal initializer, suited to ReLU stacks."""
+    fan_in, _ = _fan(shape)
+    std = float(np.sqrt(2.0 / max(fan_in, 1)))
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, _ = _fan(shape)
+    limit = float(np.sqrt(6.0 / max(fan_in, 1)))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    return (rng.standard_normal(shape) * std).astype(np.float32)

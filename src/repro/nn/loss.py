@@ -1,0 +1,37 @@
+"""Loss functions used by the federated training loops and attack models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "BCEWithLogitsLoss"]
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels (mean reduction)."""
+
+    def __call__(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, labels)
+
+
+class MSELoss:
+    """Mean squared error."""
+
+    def __call__(self, prediction: Tensor, target) -> Tensor:
+        return F.mse_loss(prediction, target)
+
+
+class BCEWithLogitsLoss:
+    """Numerically stable binary cross-entropy on raw logits.
+
+    Uses the identity ``bce(x, y) = max(x, 0) - x*y + log(1 + exp(-|x|))``.
+    """
+
+    def __call__(self, logits: Tensor, target) -> Tensor:
+        target = Tensor(np.asarray(target, dtype=np.float32))
+        positive = logits.clip(0.0, np.inf)
+        stable = ((-logits.abs()).exp() + 1.0).log()
+        return (positive - logits * target + stable).mean()

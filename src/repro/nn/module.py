@@ -1,0 +1,142 @@
+"""Module / parameter containers.
+
+Mirrors the familiar ``torch.nn.Module`` contract at the scale this project
+needs: named parameters, recursive traversal, ``state_dict`` round-tripping,
+and train/eval mode.  Parameter *names* double as the layer identifiers that
+the MixNN proxy mixes on, so naming is deterministic and insertion-ordered.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable model parameter."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True, op="parameter")
+
+
+class Module:
+    """Base class for neural-network building blocks."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Registration through attribute assignment
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(param.size for param in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Train / eval mode and gradient bookkeeping
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        self.training = True
+        for child in self._modules.values():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for child in self._modules.values():
+            child.eval()
+        return self
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # State round-tripping
+    # ------------------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Snapshot parameter values (copies, detached from the graph)."""
+        return OrderedDict((name, param.data.copy()) for name, param in self.named_parameters())
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load parameter values in place; shapes must match exactly."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, value in state.items():
+            value = np.asarray(value, dtype=np.float32)
+            if own[name].shape != value.shape:
+                raise ValueError(f"shape mismatch for {name}: {own[name].shape} vs {value.shape}")
+            own[name].data = value.copy()
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"
+
+
+class Sequential(Module):
+    """Feed-forward container applying children in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layer_list: list[Module] = []
+        for index, layer in enumerate(layers):
+            setattr(self, f"layer{index}", layer)
+            self._layer_list.append(layer)
+
+    def forward(self, x):
+        for layer in self._layer_list:
+            x = layer(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layer_list)
+
+    def __len__(self) -> int:
+        return len(self._layer_list)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layer_list[index]

@@ -1,0 +1,112 @@
+"""Model-state serialization helpers.
+
+Two representations are used throughout the reproduction:
+
+* the **state dict** (``name -> ndarray``) — the per-layer view the MixNN
+  proxy mixes on;
+* the **flat vector** — the concatenated float view that ∇Sim measures cosine
+  similarity on and that the wire format transports.
+
+``flatten``/``unflatten`` convert losslessly between the two given a
+:class:`StateSpec` captured from a model.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .module import Module
+
+__all__ = [
+    "StateSpec",
+    "spec_of",
+    "flatten",
+    "unflatten",
+    "state_to_bytes",
+    "state_from_bytes",
+    "save_state",
+    "load_state",
+]
+
+
+@dataclass(frozen=True)
+class StateSpec:
+    """Ordered (name, shape) schema of a model's parameters."""
+
+    names: tuple[str, ...]
+    shapes: tuple[tuple[int, ...], ...]
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        return tuple(int(np.prod(shape)) for shape in self.shapes)
+
+    @property
+    def total_size(self) -> int:
+        return sum(self.sizes)
+
+    def matches(self, state: dict) -> bool:
+        """Whether ``state`` has exactly this schema."""
+        if tuple(state.keys()) != self.names:
+            return False
+        return all(tuple(np.asarray(state[n]).shape) == s for n, s in zip(self.names, self.shapes))
+
+
+def spec_of(source: Module | dict) -> StateSpec:
+    """Capture the :class:`StateSpec` of a model or state dict."""
+    state = source.state_dict() if isinstance(source, Module) else source
+    return StateSpec(
+        names=tuple(state.keys()),
+        shapes=tuple(tuple(np.asarray(v).shape) for v in state.values()),
+    )
+
+
+def flatten(state: dict) -> np.ndarray:
+    """Concatenate all parameter arrays into one float32 vector."""
+    if not state:
+        return np.zeros(0, dtype=np.float32)
+    return np.concatenate([np.asarray(v, dtype=np.float32).ravel() for v in state.values()])
+
+
+def unflatten(vector: np.ndarray, spec: StateSpec) -> "OrderedDict[str, np.ndarray]":
+    """Inverse of :func:`flatten` under ``spec``."""
+    vector = np.asarray(vector, dtype=np.float32).ravel()
+    if vector.size != spec.total_size:
+        raise ValueError(f"vector has {vector.size} scalars, spec expects {spec.total_size}")
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    offset = 0
+    for name, shape, size in zip(spec.names, spec.shapes, spec.sizes):
+        out[name] = vector[offset : offset + size].reshape(shape).copy()
+        offset += size
+    return out
+
+
+def state_to_bytes(state: dict) -> bytes:
+    """Serialize a state dict to a compact ``.npz`` byte string.
+
+    This is the plaintext wire format participants encrypt to the enclave key.
+    """
+    buffer = io.BytesIO()
+    np.savez(buffer, **{name: np.asarray(value, dtype=np.float32) for name, value in state.items()})
+    return buffer.getvalue()
+
+
+def state_from_bytes(blob: bytes) -> "OrderedDict[str, np.ndarray]":
+    """Inverse of :func:`state_to_bytes`, preserving key order."""
+    with np.load(io.BytesIO(blob)) as archive:
+        return OrderedDict((name, archive[name]) for name in archive.files)
+
+
+def save_state(state: dict, path) -> None:
+    """Persist a state dict (or any name→array mapping) to an ``.npz`` file."""
+    with open(path, "wb") as handle:
+        handle.write(state_to_bytes(state))
+
+
+def load_state(path) -> "OrderedDict[str, np.ndarray]":
+    """Load a state dict previously written by :func:`save_state`."""
+    with open(path, "rb") as handle:
+        return state_from_bytes(handle.read())

@@ -1,0 +1,51 @@
+"""Training utilities: gradient norms, clipping, parameter freezing.
+
+These support the DP-style defenses and general training hygiene; they are
+not used by the core MixNN path (which operates on parameter states, not
+gradients) but belong to any complete training substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["global_grad_norm", "clip_grad_norm_", "freeze", "unfreeze"]
+
+
+def global_grad_norm(params: list[Parameter]) -> float:
+    """Global L2 norm over all parameter gradients (missing grads count 0)."""
+    total = 0.0
+    for param in params:
+        if param.grad is not None:
+            total += float(np.square(param.grad.astype(np.float64)).sum())
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm_(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (the DP-SGD sensitivity measurement).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    norm = global_grad_norm(params)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for param in params:
+            if param.grad is not None:
+                param.grad = (param.grad * scale).astype(np.float32)
+    return norm
+
+
+def freeze(params: list[Parameter]) -> None:
+    """Stop gradient tracking for the given parameters (personalization layers)."""
+    for param in params:
+        param.requires_grad = False
+
+
+def unfreeze(params: list[Parameter]) -> None:
+    """Re-enable gradient tracking."""
+    for param in params:
+        param.requires_grad = True

@@ -1,0 +1,22 @@
+"""Library logging setup.
+
+All modules log through ``repro.*`` loggers; the library never configures the
+root logger (standard library-citizen behaviour), but :func:`get_logger`
+attaches a null handler so importing applications see no spurious warnings.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a namespaced logger under the ``repro`` hierarchy."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        logger.addHandler(logging.NullHandler())
+    return logger

@@ -1,0 +1,163 @@
+"""The four dataset simulators: cohort structure, skew, attribute signals."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ACTIVITIES,
+    PREFERENCE_GROUPS,
+    DATASETS,
+    SyntheticCIFAR10,
+    SyntheticLFW,
+    SyntheticMobiAct,
+    SyntheticMotionSense,
+    make_dataset,
+)
+
+
+class TestRegistry:
+    def test_four_paper_datasets(self):
+        assert set(DATASETS) == {"cifar10", "motionsense", "mobiact", "lfw"}
+
+    def test_make_dataset(self):
+        assert isinstance(make_dataset("cifar10", seed=1), SyntheticCIFAR10)
+
+    def test_make_dataset_unknown(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_dataset("mnist")
+
+
+class TestCIFAR10Structure:
+    def test_paper_cohort(self, tiny_cifar10):
+        assert tiny_cifar10.num_clients == 20
+        counts = np.bincount(tiny_cifar10.attributes())
+        np.testing.assert_array_equal(counts, [6, 6, 8])
+
+    def test_preference_groups_disjoint_and_cover(self):
+        flat = [c for group in PREFERENCE_GROUPS for c in group]
+        assert sorted(flat) == list(range(10))
+
+    def test_preference_skew(self, tiny_cifar10):
+        for client in tiny_cifar10.clients():
+            preferred = set(client.metadata["preferred_classes"])
+            share = np.isin(client.train.labels, list(preferred)).mean()
+            assert share > 0.6  # 80 % nominal, sampled
+
+    def test_input_shape(self, tiny_cifar10):
+        client = tiny_cifar10.clients()[0]
+        assert client.train.features.shape[1:] == tiny_cifar10.input_shape
+
+    def test_random_guess_is_max_group_share(self, tiny_cifar10):
+        assert tiny_cifar10.random_guess_accuracy == pytest.approx(8 / 20)
+
+    def test_global_test_balanced(self, tiny_cifar10):
+        labels = tiny_cifar10.global_test().labels
+        counts = np.bincount(labels, minlength=10)
+        assert counts.min() == counts.max()
+
+
+class TestMotionStructure:
+    def test_motionsense_cohort(self, tiny_motionsense):
+        assert tiny_motionsense.num_clients == 24
+        counts = np.bincount(tiny_motionsense.attributes())
+        np.testing.assert_array_equal(counts, [12, 12])
+
+    def test_mobiact_cohort(self, tiny_mobiact):
+        assert tiny_mobiact.num_clients == 58
+        counts = np.bincount(tiny_mobiact.attributes())
+        np.testing.assert_array_equal(counts, [38, 20])
+
+    def test_six_activities(self, tiny_motionsense):
+        assert len(ACTIVITIES) == 6
+        labels = tiny_motionsense.clients()[0].train.labels
+        assert set(labels.tolist()) == set(range(6))
+
+    def test_window_shape(self, tiny_motionsense):
+        assert tiny_motionsense.input_shape == (1, 6, 16)
+
+    def test_gender_shifts_amplitude(self):
+        """Male windows carry more energy than female ones per activity."""
+        dataset = SyntheticMotionSense(seed=0, windows_per_activity=6)
+        energies = {0: [], 1: []}
+        for client in dataset.clients():
+            active = client.train.features[client.train.labels == 3]  # jogging
+            energies[client.attribute].append(float(np.std(active)))
+        assert np.mean(energies[0]) > np.mean(energies[1])
+
+    def test_activities_are_separable(self, tiny_motionsense):
+        """Sitting windows carry much less temporal variation than jogging."""
+
+        def temporal_std(windows):
+            centered = windows - windows.mean(axis=-1, keepdims=True)
+            return float(np.std(centered))
+
+        client = tiny_motionsense.clients()[0]
+        jog = client.train.features[client.train.labels == 3]
+        sit = client.train.features[client.train.labels == 4]
+        assert temporal_std(jog) > 1.5 * temporal_std(sit)
+
+
+class TestLFWStructure:
+    def test_cohort(self, tiny_lfw):
+        assert tiny_lfw.num_clients == 20
+        counts = np.bincount(tiny_lfw.attributes())
+        np.testing.assert_array_equal(counts, [10, 10])
+
+    def test_smile_task_binary(self, tiny_lfw):
+        labels = np.concatenate([c.train.labels for c in tiny_lfw.clients()])
+        assert set(labels.tolist()) <= {0, 1}
+
+    def test_participant_images_share_gender_statistics(self, tiny_lfw):
+        """Within a participant, images are consistent; across genders they differ."""
+        by_gender = {0: [], 1: []}
+        for client in tiny_lfw.clients():
+            by_gender[client.attribute].append(float(client.train.features.mean()))
+        assert abs(np.mean(by_gender[0]) - np.mean(by_gender[1])) > 0.02
+
+    def test_smile_changes_mouth_region_only_slightly(self, tiny_lfw):
+        client = tiny_lfw.clients()[0]
+        smiles = client.train.features[client.train.labels == 1]
+        neutral = client.train.features[client.train.labels == 0]
+        if len(smiles) and len(neutral):
+            diff = np.abs(smiles.mean(axis=0) - neutral.mean(axis=0))
+            assert diff.max() > 0.05  # the mouth feature exists
+
+
+class TestFederatedInterface:
+    @pytest.fixture(params=["tiny_cifar10", "tiny_motionsense", "tiny_mobiact", "tiny_lfw"])
+    def dataset(self, request):
+        return request.getfixturevalue(request.param)
+
+    def test_background_disjoint_from_participants(self, dataset):
+        participant_ids = {c.client_id for c in dataset.clients()}
+        background_ids = {c.client_id for c in dataset.background_clients()}
+        assert participant_ids.isdisjoint(background_ids)
+
+    def test_background_covers_all_attribute_classes(self, dataset):
+        attrs = {c.attribute for c in dataset.background_clients()}
+        assert attrs == set(range(dataset.num_attribute_classes))
+
+    def test_caching(self, dataset):
+        assert dataset.clients() is dataset.clients()
+        assert dataset.global_test() is dataset.global_test()
+
+    def test_deterministic_per_seed(self, dataset):
+        rebuilt = type(dataset)(seed=dataset.seed, **_shrink_kwargs(dataset))
+        a = dataset.clients()[0].train.features
+        b = rebuilt.clients()[0].train.features
+        np.testing.assert_array_equal(a, b)
+
+    def test_repr(self, dataset):
+        assert dataset.attribute_name in repr(dataset)
+
+
+def _shrink_kwargs(dataset) -> dict:
+    """Re-construct the tiny-fixture kwargs for determinism checks."""
+    if isinstance(dataset, SyntheticCIFAR10):
+        return dict(samples_per_client=24, test_samples_per_client=6, background_clients_per_group=2)
+    if isinstance(dataset, (SyntheticMotionSense, SyntheticMobiAct)):
+        per = 4 if isinstance(dataset, SyntheticMotionSense) else 3
+        return dict(windows_per_activity=per, test_windows_per_activity=1, background_subjects_per_gender=2)
+    if isinstance(dataset, SyntheticLFW):
+        return dict(samples_per_client=16, test_samples_per_client=4, background_subjects_per_gender=2)
+    raise TypeError(type(dataset))

@@ -1,0 +1,98 @@
+"""Background-knowledge subsets, k-fold splits, pooling."""
+
+import numpy as np
+import pytest
+
+from repro.data.base import ArrayDataset, ClientDataset
+from repro.data.partition import (
+    background_subset,
+    clients_by_attribute,
+    k_fold_clients,
+    merge_clients,
+)
+from repro.utils.rng import rng_from_seed
+
+
+def make_clients(count: int, attribute_classes: int = 2) -> list[ClientDataset]:
+    rng = rng_from_seed(0)
+    out = []
+    for i in range(count):
+        data = ArrayDataset(rng.standard_normal((6, 3)), rng.integers(0, 2, 6))
+        out.append(ClientDataset(client_id=i, train=data, test=data, attribute=i % attribute_classes))
+    return out
+
+
+class TestBackgroundSubset:
+    def test_full_ratio_keeps_everyone(self):
+        clients = make_clients(10)
+        assert len(background_subset(clients, 1.0, rng_from_seed(0))) == 10
+
+    def test_half_ratio(self):
+        clients = make_clients(10)
+        subset = background_subset(clients, 0.5, rng_from_seed(0))
+        # 5 users per class; round(2.5) banker's-rounds to 2 per class.
+        assert len(subset) == 4
+        assert {c.attribute for c in subset} == {0, 1}
+
+    def test_every_class_retained_at_tiny_ratio(self):
+        clients = make_clients(10, attribute_classes=3)
+        subset = background_subset(clients, 0.05, rng_from_seed(0))
+        assert {c.attribute for c in subset} == {0, 1, 2}
+
+    def test_output_sorted_by_id(self):
+        clients = make_clients(8)
+        subset = background_subset(clients, 0.6, rng_from_seed(1))
+        ids = [c.client_id for c in subset]
+        assert ids == sorted(ids)
+
+    def test_rejects_bad_ratio(self):
+        clients = make_clients(4)
+        for bad in (0.0, 1.5, -1.0):
+            with pytest.raises(ValueError):
+                background_subset(clients, bad, rng_from_seed(0))
+
+
+class TestKFold:
+    def test_paper_five_fold(self):
+        clients = make_clients(20)
+        folds = k_fold_clients(clients, 5, rng_from_seed(0))
+        assert len(folds) == 5
+        for train, test in folds:
+            assert len(train) == 16 and len(test) == 4
+
+    def test_folds_partition_the_cohort(self):
+        clients = make_clients(10)
+        folds = k_fold_clients(clients, 5, rng_from_seed(0))
+        held = [c.client_id for _, test in folds for c in test]
+        assert sorted(held) == list(range(10))
+
+    def test_train_test_disjoint(self):
+        clients = make_clients(9)
+        for train, test in k_fold_clients(clients, 3, rng_from_seed(0)):
+            assert {c.client_id for c in train}.isdisjoint({c.client_id for c in test})
+
+    def test_validation(self):
+        clients = make_clients(4)
+        with pytest.raises(ValueError):
+            k_fold_clients(clients, 1, rng_from_seed(0))
+        with pytest.raises(ValueError):
+            k_fold_clients(clients, 5, rng_from_seed(0))
+
+
+class TestMergeAndGroup:
+    def test_merge_pools_training_data(self):
+        clients = make_clients(3)
+        merged = merge_clients(clients)
+        assert len(merged) == 18
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_clients([])
+
+    def test_group_by_attribute(self):
+        clients = make_clients(7, attribute_classes=3)
+        grouped = clients_by_attribute(clients)
+        assert sorted(grouped) == [0, 1, 2]
+        assert sum(len(v) for v in grouped.values()) == 7
+        for attribute, members in grouped.items():
+            assert all(c.attribute == attribute for c in members)

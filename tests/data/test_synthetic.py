@@ -1,0 +1,105 @@
+"""Synthetic-data primitives: smooth fields and gait windows."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import class_prototypes, gait_window, noisy_sample, smooth_field
+from repro.utils.rng import rng_from_seed
+
+
+class TestSmoothField:
+    def test_standardized(self):
+        field = smooth_field((3, 16, 16), rng_from_seed(0))
+        assert field.mean() == pytest.approx(0.0, abs=1e-5)
+        assert field.std() == pytest.approx(1.0, rel=1e-4)
+
+    def test_smoothing_reduces_high_frequency_energy(self):
+        rng_a, rng_b = rng_from_seed(1), rng_from_seed(1)
+        smooth = smooth_field((1, 32, 32), rng_a, smoothness=2.0)
+        rough = smooth_field((1, 32, 32), rng_b, smoothness=0.0)
+
+        def hf_energy(img):
+            diff = np.diff(img, axis=-1)
+            return float((diff**2).mean())
+
+        assert hf_energy(smooth) < hf_energy(rough)
+
+    def test_deterministic(self):
+        a = smooth_field((2, 8, 8), rng_from_seed(5))
+        b = smooth_field((2, 8, 8), rng_from_seed(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_dtype(self):
+        assert smooth_field((1, 4, 4), rng_from_seed(0)).dtype == np.float32
+
+
+class TestPrototypes:
+    def test_shape(self):
+        protos = class_prototypes(10, (3, 8, 8), rng_from_seed(0))
+        assert protos.shape == (10, 3, 8, 8)
+
+    def test_prototypes_are_distinct(self):
+        protos = class_prototypes(5, (1, 8, 8), rng_from_seed(0))
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert not np.allclose(protos[i], protos[j])
+
+    def test_samples_cluster_around_prototype(self):
+        protos = class_prototypes(2, (1, 8, 8), rng_from_seed(0))
+        rng = rng_from_seed(1)
+        samples = [noisy_sample(protos[0], rng, 0.3, 0.1) for _ in range(20)]
+        mean_sample = np.mean(samples, axis=0)
+        to_own = np.linalg.norm(mean_sample - protos[0])
+        to_other = np.linalg.norm(mean_sample - protos[1])
+        assert to_own < to_other
+
+
+class TestNoisySample:
+    def test_zero_noise_returns_prototype(self):
+        proto = np.ones((1, 4, 4), dtype=np.float32)
+        out = noisy_sample(proto, rng_from_seed(0), structured_noise=0.0, white_noise=0.0)
+        np.testing.assert_array_equal(out, proto)
+
+    def test_does_not_mutate_prototype(self):
+        proto = np.ones((1, 4, 4), dtype=np.float32)
+        noisy_sample(proto, rng_from_seed(0), structured_noise=1.0, white_noise=1.0)
+        np.testing.assert_array_equal(proto, np.ones((1, 4, 4)))
+
+
+class TestGaitWindow:
+    def _window(self, frequency=2.0, amplitude=None, noise=0.0, harmonics=None, offset=None, rng=None):
+        channels = 6
+        return gait_window(
+            num_channels=channels,
+            window=32,
+            base_frequency=frequency,
+            amplitude=np.ones(channels, dtype=np.float32) if amplitude is None else amplitude,
+            phase=np.zeros(channels, dtype=np.float32),
+            harmonics=np.array([1.0, 0.3], dtype=np.float32) if harmonics is None else harmonics,
+            offset=np.zeros(channels, dtype=np.float32) if offset is None else offset,
+            noise=noise,
+            rng=rng or rng_from_seed(0),
+        )
+
+    def test_shape(self):
+        assert self._window().shape == (6, 32)
+
+    def test_offset_shifts_mean(self):
+        offset = np.full(6, 2.0, dtype=np.float32)
+        signal = self._window(offset=offset)
+        assert signal.mean() == pytest.approx(2.0, abs=0.1)
+
+    def test_amplitude_scales_energy(self):
+        quiet = self._window(amplitude=np.full(6, 0.5, dtype=np.float32))
+        loud = self._window(amplitude=np.full(6, 2.0, dtype=np.float32))
+        assert loud.std() > quiet.std() * 2
+
+    def test_dominant_frequency_matches(self):
+        signal = self._window(frequency=4.0, harmonics=np.array([1.0], dtype=np.float32))
+        spectrum = np.abs(np.fft.rfft(signal[0]))
+        assert spectrum.argmax() == 4
+
+    def test_noise_adds_variance(self):
+        clean = self._window(noise=0.0)
+        noisy = self._window(noise=0.5, rng=rng_from_seed(1))
+        assert not np.allclose(clean, noisy)

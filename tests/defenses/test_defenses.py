@@ -1,0 +1,117 @@
+"""The three schemes as pluggable defenses."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import GaussianNoiseDefense, MixNNDefense, NoDefense
+from repro.federated.update import aggregate_updates
+from repro.mixnn.enclave import SGXEnclaveSim
+from repro.utils.rng import rng_from_seed
+
+from ..conftest import make_updates
+
+
+class TestNoDefense:
+    def test_passthrough(self, small_model):
+        updates = make_updates(small_model, 4)
+        out = NoDefense().process_round(updates, rng_from_seed(0))
+        assert out is updates
+
+    def test_name(self):
+        assert NoDefense().name == "classical-fl"
+
+
+class TestGaussianNoiseDefense:
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNoiseDefense(sigma=-0.1)
+
+    def test_noise_perturbs_every_parameter(self, small_model):
+        updates = make_updates(small_model, 2)
+        noisy = GaussianNoiseDefense(sigma=0.1).process_round(updates, rng_from_seed(0))
+        for original, perturbed in zip(updates, noisy):
+            for name in original.state:
+                assert not np.allclose(original.state[name], perturbed.state[name])
+
+    def test_zero_sigma_is_identity_values(self, small_model):
+        updates = make_updates(small_model, 2)
+        noisy = GaussianNoiseDefense(sigma=0.0).process_round(updates, rng_from_seed(0))
+        for original, perturbed in zip(updates, noisy):
+            np.testing.assert_array_equal(original.flat(), perturbed.flat())
+
+    def test_originals_not_mutated(self, small_model):
+        updates = make_updates(small_model, 1)
+        snapshot = updates[0].flat().copy()
+        GaussianNoiseDefense(sigma=1.0).process_round(updates, rng_from_seed(0))
+        np.testing.assert_array_equal(updates[0].flat(), snapshot)
+
+    def test_noise_scale_matches_sigma(self, small_model):
+        updates = make_updates(small_model, 1)
+        sigma = 0.2
+        noisy = GaussianNoiseDefense(sigma=sigma).process_round(updates, rng_from_seed(0))
+        residual = noisy[0].flat() - updates[0].flat()
+        assert residual.std() == pytest.approx(sigma, rel=0.1)
+
+    def test_metadata_records_sigma(self, small_model):
+        updates = make_updates(small_model, 1)
+        noisy = GaussianNoiseDefense(sigma=0.3).process_round(updates, rng_from_seed(0))
+        assert noisy[0].metadata["noise_sigma"] == 0.3
+
+    def test_repr(self):
+        assert "0.05" in repr(GaussianNoiseDefense(sigma=0.05))
+
+
+class TestMixNNDefense:
+    def test_defaults_to_full_round_buffering(self, small_model, keypair):
+        updates = make_updates(small_model, 5)
+        defense = MixNNDefense(enclave=SGXEnclaveSim(keypair=keypair), rng=rng_from_seed(0))
+        out = defense.process_round(updates, rng_from_seed(1))
+        assert len(out) == 5
+        assert defense.proxy.k == 5
+
+    def test_explicit_k_respected(self, small_model, keypair):
+        updates = make_updates(small_model, 6)
+        defense = MixNNDefense(k=2, enclave=SGXEnclaveSim(keypair=keypair), rng=rng_from_seed(0))
+        defense.process_round(updates, rng_from_seed(1))
+        assert defense.proxy.k == 2
+
+    def test_aggregation_equivalence(self, small_model, keypair):
+        updates = make_updates(small_model, 6)
+        defense = MixNNDefense(enclave=SGXEnclaveSim(keypair=keypair), rng=rng_from_seed(0))
+        out = defense.process_round(updates, rng_from_seed(1))
+        original = aggregate_updates(updates)
+        mixed = aggregate_updates(out)
+        for name in original:
+            np.testing.assert_allclose(original[name], mixed[name], atol=1e-5)
+
+    def test_apparent_ids_cover_cohort(self, small_model, keypair):
+        updates = make_updates(small_model, 5)
+        defense = MixNNDefense(enclave=SGXEnclaveSim(keypair=keypair), rng=rng_from_seed(0))
+        out = defense.process_round(updates, rng_from_seed(1))
+        assert sorted(u.apparent_id for u in out) == [u.sender_id for u in updates]
+
+    def test_attestation_happens_once(self, small_model, keypair):
+        enclave = SGXEnclaveSim(keypair=keypair)
+        defense = MixNNDefense(enclave=enclave, rng=rng_from_seed(0))
+        updates = make_updates(small_model, 3)
+        defense.process_round(updates, rng_from_seed(1))
+        clock_after_first = enclave.clock_seconds
+        defense.process_round(make_updates(small_model, 3, seed=1, round_index=1), rng_from_seed(2))
+        # second round adds decrypt/mix time but no second attestation charge
+        assert defense._attested
+        assert enclave.clock_seconds > clock_after_first
+
+    def test_attestation_failure_blocks_upload(self, small_model, keypair, monkeypatch):
+        from repro.mixnn.enclave import EnclaveError
+
+        enclave = SGXEnclaveSim(keypair=keypair)
+        defense = MixNNDefense(enclave=enclave, rng=rng_from_seed(0))
+        monkeypatch.setattr(enclave, "verify_quote", lambda quote, identity: False)
+        with pytest.raises(EnclaveError, match="attestation"):
+            defense.process_round(make_updates(small_model, 3), rng_from_seed(1))
+
+    def test_repr_before_and_after_init(self, small_model, keypair):
+        defense = MixNNDefense(k=4, enclave=SGXEnclaveSim(keypair=keypair), rng=rng_from_seed(0))
+        assert "k=4" in repr(defense)
+        defense.process_round(make_updates(small_model, 6), rng_from_seed(1))
+        assert "k=4" in repr(defense)

@@ -1,0 +1,126 @@
+"""Experiment configs and the paper's architectures."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import (
+    CI_PARAMS,
+    PAPER_PARAMS,
+    build_experiment,
+    params_for,
+)
+from repro.experiments.models import deepface_like, model_fn_for, paper_cnn
+from repro.nn import LocallyConnected2d
+from repro.nn.tensor import Tensor
+from repro.utils.rng import rng_from_seed
+
+
+class TestPaperParams:
+    def test_methodology_values_from_section_614(self):
+        cifar = PAPER_PARAMS["cifar10"]
+        assert (cifar.rounds, cifar.local_epochs, cifar.batch_size, cifar.clients_per_round) == (10, 3, 32, 16)
+        motion = PAPER_PARAMS["motionsense"]
+        assert (motion.rounds, motion.local_epochs, motion.batch_size, motion.clients_per_round) == (20, 2, 256, 20)
+        mobi = PAPER_PARAMS["mobiact"]
+        assert (mobi.rounds, mobi.local_epochs, mobi.batch_size, mobi.clients_per_round) == (20, 3, 64, 40)
+        lfw = PAPER_PARAMS["lfw"]
+        assert (lfw.rounds, lfw.local_epochs, lfw.batch_size, lfw.clients_per_round) == (30, 2, 16, 20)
+
+    def test_ci_params_keep_structure(self):
+        for name in PAPER_PARAMS:
+            assert CI_PARAMS[name].local_epochs == PAPER_PARAMS[name].local_epochs
+            assert CI_PARAMS[name].rounds <= PAPER_PARAMS[name].rounds
+
+    def test_params_for_validation(self):
+        with pytest.raises(KeyError):
+            params_for("mnist")
+        with pytest.raises(KeyError):
+            params_for("cifar10", scale="galactic")
+
+    def test_local_config_roundtrip(self):
+        params = params_for("cifar10")
+        config = params.local_config()
+        assert config.local_epochs == params.local_epochs
+        assert config.batch_size == params.batch_size
+
+    def test_simulation_config_override_rounds(self):
+        config = params_for("cifar10").simulation_config(seed=3, rounds=2)
+        assert config.rounds == 2
+        assert config.seed == 3
+
+    def test_build_experiment(self):
+        dataset, params = build_experiment("lfw")
+        assert dataset.name == "lfw"
+        assert params.dataset == "lfw"
+
+
+class TestPaperCNN:
+    def test_two_conv_three_fc(self):
+        model = paper_cnn((3, 8, 8), 10, rng_from_seed(0))
+        from repro.nn import Conv2d, Linear
+
+        convs = [m for _, m in model.named_modules() if isinstance(m, Conv2d)]
+        fcs = [m for _, m in model.named_modules() if isinstance(m, Linear)]
+        assert len(convs) == 2
+        assert len(fcs) == 3
+
+    def test_three_conv_variant(self):
+        from repro.nn import Conv2d
+
+        model = paper_cnn((3, 8, 8), 10, rng_from_seed(0), conv_layers=3)
+        convs = [m for _, m in model.named_modules() if isinstance(m, Conv2d)]
+        assert len(convs) == 3
+
+    def test_forward_shape(self):
+        model = paper_cnn((3, 8, 8), 10, rng_from_seed(0))
+        out = model(Tensor(np.zeros((4, 3, 8, 8), dtype=np.float32)))
+        assert out.shape == (4, 10)
+
+    def test_motion_input_geometry(self):
+        model = paper_cnn((1, 6, 16), 6, rng_from_seed(0))
+        out = model(Tensor(np.zeros((2, 1, 6, 16), dtype=np.float32)))
+        assert out.shape == (2, 6)
+
+    def test_invalid_conv_count(self):
+        with pytest.raises(ValueError):
+            paper_cnn((3, 8, 8), 10, rng_from_seed(0), conv_layers=4)
+
+    def test_three_conv_has_more_parameters(self):
+        two = paper_cnn((3, 8, 8), 10, rng_from_seed(0), conv_layers=2)
+        three = paper_cnn((3, 8, 8), 10, rng_from_seed(0), conv_layers=3)
+        assert three.num_parameters() > two.num_parameters()
+
+
+class TestDeepFaceLike:
+    def test_contains_locally_connected_layer(self):
+        model = deepface_like((1, 12, 12), 2, rng_from_seed(0))
+        layers = [m for _, m in model.named_modules() if isinstance(m, LocallyConnected2d)]
+        assert len(layers) == 1
+
+    def test_forward_shape(self):
+        model = deepface_like((1, 12, 12), 2, rng_from_seed(0))
+        out = model(Tensor(np.zeros((3, 1, 12, 12), dtype=np.float32)))
+        assert out.shape == (3, 2)
+
+    def test_odd_input_rejected(self):
+        with pytest.raises(ValueError):
+            deepface_like((1, 11, 11), 2, rng_from_seed(0))
+
+
+class TestModelFnFor:
+    def test_lfw_gets_deepface(self, tiny_lfw):
+        model = model_fn_for(tiny_lfw)(rng_from_seed(0))
+        layers = [m for _, m in model.named_modules() if isinstance(m, LocallyConnected2d)]
+        assert len(layers) == 1
+
+    def test_others_get_paper_cnn(self, tiny_cifar10):
+        model = model_fn_for(tiny_cifar10)(rng_from_seed(0))
+        layers = [m for _, m in model.named_modules() if isinstance(m, LocallyConnected2d)]
+        assert layers == []
+
+    def test_factory_is_seeded(self, tiny_cifar10):
+        factory = model_fn_for(tiny_cifar10)
+        a = factory(rng_from_seed(0)).state_dict()
+        b = factory(rng_from_seed(0)).state_dict()
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])

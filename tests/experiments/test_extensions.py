@@ -1,0 +1,74 @@
+"""Extension experiment harnesses (miniature runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.extensions import (
+    EXTENDED_DEFENSES,
+    render_defense_comparison,
+    run_defense_comparison,
+    run_passive_vs_active,
+    run_relink_robustness,
+)
+
+
+class TestRoster:
+    def test_five_defenses(self):
+        assert set(EXTENDED_DEFENSES) == {
+            "classical-fl",
+            "noisy-gradient",
+            "mixnn",
+            "secure-aggregation",
+            "dp-clip-noise",
+        }
+
+
+class TestDefenseComparison:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_defense_comparison("motionsense", rounds=2)
+
+    def test_one_row_per_defense(self, rows):
+        assert {row.defense for row in rows} == set(EXTENDED_DEFENSES)
+
+    def test_metrics_in_range(self, rows):
+        for row in rows:
+            assert 0.0 <= row.final_accuracy <= 1.0
+            assert 0.0 <= row.mean_inference <= 1.0
+            assert row.random_guess == pytest.approx(0.5)
+
+    def test_mixnn_matches_fl_utility(self, rows):
+        by_name = {row.defense: row for row in rows}
+        assert by_name["mixnn"].final_accuracy == pytest.approx(
+            by_name["classical-fl"].final_accuracy, abs=1e-3
+        )
+
+    def test_fl_leaks_most(self, rows):
+        by_name = {row.defense: row for row in rows}
+        assert by_name["classical-fl"].leakage >= by_name["mixnn"].leakage
+
+    def test_render(self, rows):
+        text = render_defense_comparison(rows)
+        assert "secure-aggregation" in text
+        assert "leakage above guess" in text
+
+
+class TestPassiveVsActive:
+    def test_both_modes_run(self):
+        curves = run_passive_vs_active("motionsense", rounds=2)
+        assert set(curves) == {"passive", "active"}
+        assert all(len(curve) == 2 for curve in curves.values())
+
+
+class TestRelinkRobustness:
+    def test_report_structure(self):
+        report, dataset = run_relink_robustness("motionsense", rounds=2)
+        assert dataset.name == "motionsense"
+        assert report.piece_accuracy is not None
+        assert 0.0 <= report.consistency_rate <= 1.0
+        assert len(report.piece_assignments) == 20  # clients_per_round for motionsense
+
+    def test_chimeras_are_inconsistent(self):
+        """Mixed updates must not regroup under per-piece classification."""
+        report, _ = run_relink_robustness("motionsense", rounds=2)
+        assert report.consistency_rate < 0.6

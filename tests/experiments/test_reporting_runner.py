@@ -1,0 +1,76 @@
+"""Reporting helpers, system-perf table, and the CLI runner."""
+
+import pytest
+
+from repro.experiments.reporting import PAPER_CLAIMS, format_series, format_table
+from repro.experiments.system_perf import (
+    PAPER_UPDATE_MB,
+    measure_real_pipeline,
+    render,
+    run_system_perf,
+    simulate_paper_scale,
+)
+
+
+class TestReporting:
+    def test_claims_cover_every_experiment(self):
+        assert set(PAPER_CLAIMS) == {"figure5", "figure6", "figure7", "figure8", "figure9", "system"}
+
+    def test_figure7_reference_values(self):
+        refs = PAPER_CLAIMS["figure7"]["classical_fl"]
+        assert refs["cifar10"] == 1.00
+        assert refs["mobiact"] == 0.94
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_format_series(self):
+        out = format_series("fl", [0.5, 0.75])
+        assert out == "fl: [0.500, 0.750]"
+
+
+class TestSystemPerf:
+    def test_simulated_matches_paper_headline_numbers(self):
+        rows = {r.architecture: r for r in simulate_paper_scale()}
+        assert rows["2conv+3fc"].process_seconds == pytest.approx(0.19, abs=0.01)
+        assert rows["3conv+3fc"].process_seconds == pytest.approx(0.22, abs=0.01)
+        assert rows["2conv+3fc"].mix_seconds == pytest.approx(0.03)
+
+    def test_paper_sizes_recorded(self):
+        assert PAPER_UPDATE_MB == {"2conv+3fc": 26.9, "3conv+3fc": 51.3}
+
+    def test_measured_pipeline_shape(self):
+        small = measure_real_pipeline(2, num_updates=4)
+        large = measure_real_pipeline(3, num_updates=4)
+        assert large.update_mb > small.update_mb
+        assert small.process_seconds > 0
+
+    def test_render_includes_both_sections(self):
+        text = render(run_system_perf())
+        assert "simulated_paper_scale" in text
+        assert "measured_ci_scale" in text
+
+
+class TestRunnerCLI:
+    def test_system_command(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["system"]) == 0
+        out = capsys.readouterr().out
+        assert "2conv+3fc" in out
+
+    def test_unknown_experiment_rejected_by_argparse(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["figure42"])
+
+    def test_run_experiment_unknown_name(self):
+        from repro.experiments.runner import run_experiment
+
+        with pytest.raises(KeyError):
+            run_experiment("figure42", "cifar10", "ci", 0)

@@ -1,0 +1,44 @@
+"""Runner CLI dispatch logic (experiment × dataset matrix), without the cost
+of actually running the experiments."""
+
+import pytest
+
+from repro.experiments import runner
+
+
+@pytest.fixture()
+def recorded(monkeypatch):
+    calls = []
+
+    def fake_run_experiment(name, dataset, scale, seed):
+        calls.append((name, dataset, scale, seed))
+        return f"report {name}/{dataset}"
+
+    monkeypatch.setattr(runner, "run_experiment", fake_run_experiment)
+    return calls
+
+
+class TestDispatch:
+    def test_single_experiment_single_dataset(self, recorded, capsys):
+        assert runner.main(["figure5", "--dataset", "lfw"]) == 0
+        assert recorded == [("figure5", "lfw", "ci", 0)]
+        assert "report figure5/lfw" in capsys.readouterr().out
+
+    def test_dataset_all_expands(self, recorded):
+        runner.main(["figure7", "--dataset", "all"])
+        datasets = [call[1] for call in recorded]
+        assert sorted(datasets) == ["cifar10", "lfw", "mobiact", "motionsense"]
+
+    def test_all_experiments_include_system_once(self, recorded):
+        runner.main(["all", "--dataset", "cifar10"])
+        names = [call[0] for call in recorded]
+        assert names.count("system") == 1
+        assert set(names) == set(runner.EXPERIMENTS)
+
+    def test_scale_and_seed_forwarded(self, recorded):
+        runner.main(["figure8", "--dataset", "cifar10", "--scale", "paper", "--seed", "7"])
+        assert recorded == [("figure8", "cifar10", "paper", 7)]
+
+    def test_system_ignores_dataset(self, recorded):
+        runner.main(["system", "--dataset", "all"])
+        assert recorded == [("system", "-", "ci", 0)]

@@ -1,0 +1,115 @@
+"""Round orchestration: configs, records, end-to-end mini-runs."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import GaussianNoiseDefense, NoDefense
+from repro.experiments.models import paper_cnn
+from repro.federated import (
+    FederatedSimulation,
+    LocalTrainingConfig,
+    SimulationConfig,
+)
+
+
+@pytest.fixture()
+def fast_config():
+    return SimulationConfig(
+        rounds=2,
+        local=LocalTrainingConfig(local_epochs=1, batch_size=32),
+        clients_per_round=6,
+        seed=0,
+    )
+
+
+def model_fn_for_dataset(dataset):
+    return lambda rng: paper_cnn(dataset.input_shape, dataset.num_classes, rng)
+
+
+class TestSimulationConfig:
+    def test_round_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(rounds=0, local=LocalTrainingConfig())
+
+    def test_defaults(self):
+        config = SimulationConfig(rounds=3, local=LocalTrainingConfig())
+        assert config.clients_per_round is None
+        assert config.track_per_client_accuracy
+
+
+class TestFederatedSimulation:
+    def test_runs_configured_rounds(self, tiny_motionsense, fast_config):
+        sim = FederatedSimulation(tiny_motionsense, model_fn_for_dataset(tiny_motionsense), fast_config)
+        result = sim.run()
+        assert len(result.rounds) == 2
+        assert result.defense_name == "classical-fl"
+        assert all(0.0 <= r.global_accuracy <= 1.0 for r in result.rounds)
+
+    def test_client_subsampling(self, tiny_motionsense, fast_config):
+        sim = FederatedSimulation(tiny_motionsense, model_fn_for_dataset(tiny_motionsense), fast_config)
+        result = sim.run()
+        assert all(len(round_updates) == 6 for round_updates in result.received_updates)
+
+    def test_all_clients_when_unset(self, tiny_motionsense):
+        config = SimulationConfig(rounds=1, local=LocalTrainingConfig(local_epochs=1, batch_size=64), seed=0)
+        sim = FederatedSimulation(tiny_motionsense, model_fn_for_dataset(tiny_motionsense), config)
+        result = sim.run()
+        assert len(result.received_updates[0]) == tiny_motionsense.num_clients
+
+    def test_per_client_accuracy_tracked(self, tiny_motionsense, fast_config):
+        sim = FederatedSimulation(tiny_motionsense, model_fn_for_dataset(tiny_motionsense), fast_config)
+        result = sim.run()
+        per_client = result.per_client_accuracy_at(0)
+        assert len(per_client) == tiny_motionsense.num_clients
+
+    def test_per_client_accuracy_untracked_raises(self, tiny_motionsense):
+        config = SimulationConfig(
+            rounds=1,
+            local=LocalTrainingConfig(local_epochs=1, batch_size=64),
+            seed=0,
+            track_per_client_accuracy=False,
+        )
+        sim = FederatedSimulation(tiny_motionsense, model_fn_for_dataset(tiny_motionsense), config)
+        result = sim.run()
+        with pytest.raises(ValueError):
+            result.per_client_accuracy_at(0)
+        with pytest.raises(KeyError):
+            result.per_client_accuracy_at(99)
+
+    def test_same_seed_same_curve(self, tiny_motionsense, fast_config):
+        def run():
+            sim = FederatedSimulation(
+                tiny_motionsense, model_fn_for_dataset(tiny_motionsense), fast_config
+            )
+            return sim.run().accuracy_curve()
+
+        assert run() == run()
+
+    def test_client_selection_independent_of_defense(self, tiny_motionsense, fast_config):
+        """The defense's RNG usage must not perturb which clients train."""
+
+        def senders(defense):
+            sim = FederatedSimulation(
+                tiny_motionsense, model_fn_for_dataset(tiny_motionsense), fast_config, defense=defense
+            )
+            result = sim.run()
+            return [sorted(u.sender_id for u in round_updates) for round_updates in result.received_updates]
+
+        plain = senders(NoDefense())
+        # Noisy defense consumes the defense RNG heavily but keeps senders.
+        noisy = senders(GaussianNoiseDefense(sigma=0.01))
+        assert plain == noisy
+
+    def test_accuracy_curve_and_inference_curve_helpers(self, tiny_motionsense, fast_config):
+        sim = FederatedSimulation(tiny_motionsense, model_fn_for_dataset(tiny_motionsense), fast_config)
+        result = sim.run()
+        assert len(result.accuracy_curve()) == 2
+        assert result.inference_curve() == []  # no attack attached
+
+    def test_learning_progress_over_rounds(self, tiny_motionsense):
+        config = SimulationConfig(
+            rounds=4, local=LocalTrainingConfig(local_epochs=2, batch_size=32), seed=0
+        )
+        sim = FederatedSimulation(tiny_motionsense, model_fn_for_dataset(tiny_motionsense), config)
+        curve = sim.run().accuracy_curve()
+        assert curve[-1] > 1.0 / tiny_motionsense.num_classes  # beats random

@@ -1,0 +1,137 @@
+"""ModelUpdate algebra: layer grouping, deltas, aggregation."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.federated.update import (
+    ModelUpdate,
+    aggregate_states,
+    aggregate_updates,
+    layer_groups,
+    state_delta,
+)
+
+
+def small_state(value: float = 0.0) -> "OrderedDict[str, np.ndarray]":
+    return OrderedDict(
+        [
+            ("layer0.weight", np.full((2, 3), value, dtype=np.float32)),
+            ("layer0.bias", np.full((2,), value, dtype=np.float32)),
+            ("layer1.weight", np.full((4, 2), value, dtype=np.float32)),
+        ]
+    )
+
+
+class TestLayerGroups:
+    def test_groups_weight_and_bias_together(self):
+        groups = layer_groups(["layer0.weight", "layer0.bias", "layer1.weight"])
+        assert list(groups) == ["layer0", "layer1"]
+        assert groups["layer0"] == ["layer0.weight", "layer0.bias"]
+
+    def test_bare_names(self):
+        groups = layer_groups(["embedding", "head.weight"])
+        assert list(groups) == ["embedding", "head"]
+
+    def test_order_follows_first_appearance(self):
+        groups = layer_groups(["b.w", "a.w", "b.b"])
+        assert list(groups) == ["b", "a"]
+
+
+class TestModelUpdate:
+    def test_apparent_id_defaults_to_sender(self):
+        update = ModelUpdate(sender_id=4, round_index=0, state=small_state())
+        assert update.apparent_id == 4
+
+    def test_apparent_id_override(self):
+        update = ModelUpdate(sender_id=-1, apparent_id=9, round_index=0, state=small_state())
+        assert update.apparent_id == 9
+
+    def test_layers_view(self):
+        update = ModelUpdate(sender_id=0, round_index=0, state=small_state())
+        assert list(update.layers) == ["layer0", "layer1"]
+
+    def test_layer_state(self):
+        update = ModelUpdate(sender_id=0, round_index=0, state=small_state(2.0))
+        layer = update.layer_state("layer0")
+        assert list(layer) == ["layer0.weight", "layer0.bias"]
+        with pytest.raises(KeyError):
+            update.layer_state("nonexistent")
+
+    def test_flat_size(self):
+        update = ModelUpdate(sender_id=0, round_index=0, state=small_state())
+        assert update.flat().shape == (6 + 2 + 8,)
+
+    def test_delta(self):
+        update = ModelUpdate(sender_id=0, round_index=0, state=small_state(3.0))
+        delta = update.delta(small_state(1.0))
+        for value in delta.values():
+            np.testing.assert_allclose(value, 2.0)
+
+    def test_delta_schema_mismatch(self):
+        update = ModelUpdate(sender_id=0, round_index=0, state=small_state())
+        with pytest.raises(KeyError):
+            update.delta({"other": np.zeros(1)})
+
+    def test_copy_is_deep_for_state(self):
+        update = ModelUpdate(sender_id=0, round_index=0, state=small_state(1.0))
+        clone = update.copy()
+        clone.state["layer0.bias"][:] = 99.0
+        np.testing.assert_allclose(update.state["layer0.bias"], 1.0)
+
+    def test_repr(self):
+        update = ModelUpdate(sender_id=1, round_index=2, state=small_state())
+        assert "sender=1" in repr(update) and "round=2" in repr(update)
+
+
+class TestAggregation:
+    def test_plain_mean(self):
+        states = [small_state(0.0), small_state(2.0)]
+        out = aggregate_states(states)
+        for value in out.values():
+            np.testing.assert_allclose(value, 1.0)
+
+    def test_weighted_mean(self):
+        out = aggregate_states([small_state(0.0), small_state(4.0)], weights=[3.0, 1.0])
+        for value in out.values():
+            np.testing.assert_allclose(value, 1.0)
+
+    def test_schema_mismatch_rejected(self):
+        other = small_state()
+        other.pop("layer1.weight")
+        with pytest.raises(KeyError):
+            aggregate_states([small_state(), other])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_states([])
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(ValueError):
+            aggregate_states([small_state()], weights=[1.0, 2.0])
+
+    def test_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            aggregate_states([small_state(), small_state()], weights=[0.0, 0.0])
+
+    def test_aggregate_updates_plain_vs_sample_weighted(self):
+        updates = [
+            ModelUpdate(sender_id=0, round_index=0, state=small_state(0.0), num_samples=1),
+            ModelUpdate(sender_id=1, round_index=0, state=small_state(4.0), num_samples=3),
+        ]
+        plain = aggregate_updates(updates)
+        weighted = aggregate_updates(updates, sample_weighted=True)
+        np.testing.assert_allclose(plain["layer0.bias"], 2.0)
+        np.testing.assert_allclose(weighted["layer0.bias"], 3.0)
+
+
+class TestStateDelta:
+    def test_basic(self):
+        delta = state_delta(small_state(5.0), small_state(2.0))
+        for value in delta.values():
+            np.testing.assert_allclose(value, 3.0)
+
+    def test_mismatch(self):
+        with pytest.raises(KeyError):
+            state_delta(small_state(), {"x": np.zeros(1)})

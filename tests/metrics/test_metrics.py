@@ -1,0 +1,101 @@
+"""Utility, privacy, CDF and latency metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    LatencySummary,
+    empirical_cdf,
+    inference_accuracy,
+    leakage_above_guess,
+    model_accuracy,
+    per_client_accuracies,
+    summarize_latencies,
+)
+from repro.experiments.models import paper_cnn
+
+
+class TestInferenceAccuracy:
+    def test_perfect(self):
+        assert inference_accuracy({1: 0, 2: 1}, {1: 0, 2: 1}) == 1.0
+
+    def test_partial(self):
+        assert inference_accuracy({1: 0, 2: 0}, {1: 0, 2: 1}) == 0.5
+
+    def test_only_common_participants_scored(self):
+        assert inference_accuracy({1: 0, 9: 1}, {1: 0}) == 1.0
+
+    def test_no_overlap_raises(self):
+        with pytest.raises(ValueError):
+            inference_accuracy({1: 0}, {2: 0})
+
+
+class TestLeakage:
+    def test_positive_means_leak(self):
+        assert leakage_above_guess(0.9, 0.5) == pytest.approx(0.4)
+
+    def test_zero_for_random_guess(self):
+        assert leakage_above_guess(1 / 3, 1 / 3) == pytest.approx(0.0)
+
+    def test_negative_allowed(self):
+        assert leakage_above_guess(0.2, 0.5) < 0
+
+
+class TestEmpiricalCDF:
+    def test_basic(self):
+        values, probs = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(values, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(probs, [1 / 3, 2 / 3, 1.0])
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        _, probs = empirical_cdf(rng.standard_normal(50))
+        assert np.all(np.diff(probs) >= 0)
+        assert probs[-1] == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+
+class TestLatency:
+    def test_summary_fields(self):
+        summary = summarize_latencies([0.1, 0.2, 0.3, 0.4])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(0.25)
+        assert summary.p50 == pytest.approx(0.25)
+        assert summary.maximum == pytest.approx(0.4)
+
+    def test_as_row_rounding(self):
+        row = summarize_latencies([0.123456]).as_row()
+        assert row["mean_s"] == 0.1235
+        assert isinstance(row, dict)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_latencies([])
+
+    def test_is_frozen(self):
+        summary = summarize_latencies([1.0])
+        with pytest.raises(AttributeError):
+            summary.mean = 2.0
+        assert isinstance(summary, LatencySummary)
+
+
+class TestModelAccuracyHelpers:
+    def test_model_accuracy_on_global_test(self, tiny_motionsense):
+        model_fn = lambda rng: paper_cnn(tiny_motionsense.input_shape, 6, rng)
+        from repro.utils.rng import rng_from_seed
+
+        state = model_fn(rng_from_seed(0)).state_dict()
+        accuracy = model_accuracy(state, tiny_motionsense.global_test(), model_fn)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_per_client_accuracies(self, tiny_motionsense):
+        model_fn = lambda rng: paper_cnn(tiny_motionsense.input_shape, 6, rng)
+        from repro.utils.rng import rng_from_seed
+
+        state = model_fn(rng_from_seed(0)).state_dict()
+        scores = per_client_accuracies(state, tiny_motionsense.clients(), model_fn)
+        assert set(scores) == {c.client_id for c in tiny_motionsense.clients()}
+        assert all(0.0 <= v <= 1.0 for v in scores.values())

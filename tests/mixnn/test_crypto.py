@@ -1,0 +1,102 @@
+"""Hybrid encryption: round trips, tampering, key handling."""
+
+import numpy as np
+import pytest
+
+from repro.mixnn.crypto import (
+    CryptoError,
+    decrypt,
+    encrypt,
+    generate_keypair,
+    process_keypair,
+    _is_probable_prime,
+    _random_prime,
+)
+
+
+@pytest.fixture(scope="module")
+def kp():
+    return process_keypair()
+
+
+class TestPrimes:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 7, 97, 65537, 2**127 - 1):
+            assert _is_probable_prime(p)
+
+    def test_known_composites(self):
+        for c in (1, 4, 100, 65537 * 3, 561, 2**128):
+            assert not _is_probable_prime(c)
+
+    def test_random_prime_has_requested_size(self):
+        p = _random_prime(128)
+        assert p.bit_length() == 128
+        assert _is_probable_prime(p)
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, kp):
+        assert kp.public.n.bit_length() >= 1023
+
+    def test_rsa_identity(self, kp):
+        message = 123456789
+        assert pow(pow(message, kp.public.e, kp.n), kp.d, kp.n) == message
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError):
+            generate_keypair(bits=128)
+
+    def test_process_keypair_cached(self):
+        assert process_keypair() is process_keypair()
+
+    def test_fingerprint_stable_and_short(self, kp):
+        assert kp.public.fingerprint() == kp.public.fingerprint()
+        assert len(kp.public.fingerprint()) == 16
+
+
+class TestRoundTrip:
+    def test_empty_message(self, kp):
+        assert decrypt(kp, encrypt(kp.public, b"")) == b""
+
+    def test_short_message(self, kp):
+        assert decrypt(kp, encrypt(kp.public, b"hello enclave")) == b"hello enclave"
+
+    def test_large_binary_message(self, kp):
+        payload = np.random.default_rng(0).integers(0, 256, 100_000, dtype=np.uint8).tobytes()
+        assert decrypt(kp, encrypt(kp.public, payload)) == payload
+
+    def test_ciphertexts_are_randomized(self, kp):
+        assert encrypt(kp.public, b"same") != encrypt(kp.public, b"same")
+
+    def test_ciphertext_larger_than_plaintext(self, kp):
+        blob = encrypt(kp.public, b"x" * 100)
+        assert len(blob) > 100 + kp.public.modulus_bytes
+
+
+class TestTampering:
+    def test_body_flip_detected(self, kp):
+        blob = bytearray(encrypt(kp.public, b"secret payload"))
+        blob[-1] ^= 0x01
+        with pytest.raises(CryptoError, match="MAC"):
+            decrypt(kp, bytes(blob))
+
+    def test_kem_flip_detected(self, kp):
+        blob = bytearray(encrypt(kp.public, b"secret payload"))
+        blob[10] ^= 0x01
+        with pytest.raises(CryptoError):
+            decrypt(kp, bytes(blob))
+
+    def test_truncation_detected(self, kp):
+        blob = encrypt(kp.public, b"secret payload")
+        with pytest.raises(CryptoError):
+            decrypt(kp, blob[: len(blob) // 2])
+
+    def test_garbage_rejected(self, kp):
+        with pytest.raises(CryptoError):
+            decrypt(kp, b"\x00\x01garbage")
+
+    def test_wrong_key_rejected(self, kp):
+        other = generate_keypair(bits=512)
+        blob = encrypt(kp.public, b"for the enclave only")
+        with pytest.raises(CryptoError):
+            decrypt(other, blob)

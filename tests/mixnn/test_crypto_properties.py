@@ -1,0 +1,44 @@
+"""Property-based tests of the hybrid encryption and sealing layers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mixnn.crypto import decrypt, encrypt, process_keypair
+from repro.mixnn.enclave import SGXEnclaveSim
+
+KP = process_keypair()
+ENCLAVE = SGXEnclaveSim(keypair=KP)
+
+
+class TestEncryptionProperties:
+    @given(st.binary(min_size=0, max_size=4096))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_any_payload(self, payload):
+        assert decrypt(KP, encrypt(KP.public, payload)) == payload
+
+    @given(st.binary(min_size=1, max_size=512))
+    @settings(max_examples=20, deadline=None)
+    def test_ciphertext_never_contains_plaintext(self, payload):
+        if len(payload) < 4:
+            return  # short substrings occur by chance
+        assert payload not in encrypt(KP.public, payload)
+
+    @given(st.binary(min_size=0, max_size=1024))
+    @settings(max_examples=20, deadline=None)
+    def test_ciphertext_length_is_payload_plus_constant(self, payload):
+        blob = encrypt(KP.public, payload)
+        overhead = len(blob) - len(payload)
+        # 2-byte length + KEM + nonce + MAC; constant for a fixed key.
+        assert overhead == 2 + KP.public.modulus_bytes + 16 + 32
+
+
+class TestSealingProperties:
+    @given(st.binary(min_size=0, max_size=2048))
+    @settings(max_examples=30, deadline=None)
+    def test_seal_unseal_round_trip(self, payload):
+        assert ENCLAVE.unseal(ENCLAVE.seal(payload)) == payload
+
+    @given(st.binary(min_size=1, max_size=256))
+    @settings(max_examples=20, deadline=None)
+    def test_sealed_blobs_are_randomized(self, payload):
+        assert ENCLAVE.seal(payload) != ENCLAVE.seal(payload)

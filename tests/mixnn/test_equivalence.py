@@ -1,0 +1,83 @@
+"""Property-based verification of the §4.2 utility-equivalence theorem.
+
+The theorem: if the mixing matrix assigns every (participant, layer) pair to
+exactly one emitted update, the column-mean aggregate of the mixed batch
+equals the aggregate of the original batch.  Hypothesis generates random
+cohort sizes, model schemas and parameter values; the property must hold for
+every granularity.
+"""
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated.update import ModelUpdate, aggregate_updates
+from repro.mixnn.mixing import mix_updates, mixing_matrix, is_valid_mixing_matrix
+from repro.utils.rng import rng_from_seed
+
+
+@st.composite
+def update_batches(draw):
+    """A random federated round: schema + per-participant values."""
+    num_clients = draw(st.integers(min_value=1, max_value=8))
+    num_layers = draw(st.integers(min_value=1, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = rng_from_seed(seed)
+    shapes = []
+    for layer in range(num_layers):
+        rows = draw(st.integers(min_value=1, max_value=4))
+        cols = draw(st.integers(min_value=1, max_value=4))
+        shapes.append((f"layer{layer}.weight", (rows, cols)))
+        shapes.append((f"layer{layer}.bias", (rows,)))
+    updates = []
+    for sender in range(num_clients):
+        state = OrderedDict(
+            (name, rng.standard_normal(shape).astype(np.float32)) for name, shape in shapes
+        )
+        updates.append(ModelUpdate(sender_id=sender, round_index=0, state=state))
+    return updates, seed
+
+
+class TestUtilityEquivalence:
+    @given(update_batches(), st.sampled_from(["model", "layer", "parameter"]))
+    @settings(max_examples=60, deadline=None)
+    def test_aggregate_invariant_under_mixing(self, batch, granularity):
+        updates, seed = batch
+        mixed = mix_updates(updates, rng_from_seed(seed + 1), granularity=granularity)
+        original = aggregate_updates(updates)
+        after = aggregate_updates(mixed)
+        for name in original:
+            np.testing.assert_allclose(original[name], after[name], atol=1e-5)
+
+    @given(update_batches())
+    @settings(max_examples=40, deadline=None)
+    def test_every_piece_forwarded_exactly_once(self, batch):
+        updates, seed = batch
+        mixed = mix_updates(updates, rng_from_seed(seed + 2))
+        num_units = len(mixed[0].metadata["unit_sources"])
+        for unit in range(num_units):
+            sources = sorted(m.metadata["unit_sources"][unit] for m in mixed)
+            assert sources == [u.sender_id for u in updates]
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_generated_matrices_always_valid(self, num_updates, num_units, seed):
+        matrix = mixing_matrix(num_updates, num_units, rng_from_seed(seed))
+        assert is_valid_mixing_matrix(matrix, num_updates)
+
+    @given(update_batches())
+    @settings(max_examples=30, deadline=None)
+    def test_mixing_is_lossless_as_a_multiset(self, batch):
+        """The multiset of per-layer values is preserved exactly."""
+        updates, seed = batch
+        mixed = mix_updates(updates, rng_from_seed(seed + 3))
+        for name in updates[0].state:
+            before = sorted(float(u.state[name].sum()) for u in updates)
+            after = sorted(float(m.state[name].sum()) for m in mixed)
+            np.testing.assert_allclose(before, after, atol=1e-6)

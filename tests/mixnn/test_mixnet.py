@@ -1,0 +1,98 @@
+"""Chaum mix cascade: onion routing, batching, unlinkability."""
+
+import numpy as np
+import pytest
+
+from repro.mixnn.crypto import decrypt, generate_keypair
+from repro.mixnn.mixnet import MixCascade, MixNode, onion_encrypt
+from repro.utils.rng import rng_from_seed
+
+
+@pytest.fixture(scope="module")
+def small_keypairs():
+    """512-bit keys keep the cascade tests fast."""
+    return [generate_keypair(bits=512) for _ in range(3)]
+
+
+@pytest.fixture()
+def cascade(small_keypairs):
+    return MixCascade(num_mixes=3, batch_size=2, rng=rng_from_seed(0), keypairs=small_keypairs)
+
+
+class TestOnionEncrypt:
+    def test_layers_peel_in_route_order(self, small_keypairs):
+        keys = [kp.public for kp in small_keypairs]
+        blob = onion_encrypt(b"inner payload", keys)
+        for kp in small_keypairs:
+            blob = decrypt(kp, blob)
+        assert blob == b"inner payload"
+
+    def test_each_layer_grows_the_blob(self, small_keypairs):
+        keys = [kp.public for kp in small_keypairs]
+        one = onion_encrypt(b"m", keys[:1])
+        three = onion_encrypt(b"m", keys)
+        assert len(three) > len(one)
+
+
+class TestMixNode:
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            MixNode(batch_size=0)
+
+    def test_buffers_until_batch_full(self, small_keypairs):
+        node = MixNode(keypair=small_keypairs[0], batch_size=3, rng=rng_from_seed(0))
+        from repro.mixnn.crypto import encrypt
+
+        assert node.receive(encrypt(node.public_key, b"a")) == []
+        assert node.receive(encrypt(node.public_key, b"b")) == []
+        batch = node.receive(encrypt(node.public_key, b"c"))
+        assert sorted(batch) == [b"a", b"b", b"c"]
+        assert node.pending == 0
+
+    def test_undecryptable_message_dropped(self, small_keypairs):
+        node = MixNode(keypair=small_keypairs[0], batch_size=1, rng=rng_from_seed(0))
+        assert node.receive(b"not-a-ciphertext") == []
+        assert node.dropped == 1
+
+    def test_flush_empties_buffer(self, small_keypairs):
+        from repro.mixnn.crypto import encrypt
+
+        node = MixNode(keypair=small_keypairs[0], batch_size=10, rng=rng_from_seed(0))
+        node.receive(encrypt(node.public_key, b"x"))
+        assert node.flush() == [b"x"]
+        assert node.pending == 0
+
+
+class TestMixCascade:
+    def test_construction_validation(self, small_keypairs):
+        with pytest.raises(ValueError):
+            MixCascade(num_mixes=0)
+        with pytest.raises(ValueError):
+            MixCascade(num_mixes=2, keypairs=small_keypairs)
+
+    def test_end_to_end_delivery(self, cascade):
+        messages = [f"update-{i}".encode() for i in range(6)]
+        wrapped = [cascade.wrap(m) for m in messages]
+        delivered = cascade.send_batch(wrapped)
+        assert sorted(delivered) == sorted(messages)
+        assert cascade.dropped == 0
+
+    def test_delivery_order_is_shuffled(self, small_keypairs):
+        """Across seeds, output order must not track input order."""
+        messages = [f"msg-{i}".encode() for i in range(8)]
+        matches = []
+        for seed in range(6):
+            cascade = MixCascade(
+                num_mixes=3, batch_size=4, rng=rng_from_seed(seed), keypairs=small_keypairs
+            )
+            delivered = cascade.send_batch([cascade.wrap(m) for m in messages])
+            matches.append(delivered == messages)
+        assert not all(matches)
+
+    def test_garbage_dropped_not_crashing(self, cascade):
+        delivered = cascade.send_batch([b"garbage", cascade.wrap(b"real")])
+        assert delivered == [b"real"]
+        assert cascade.dropped == 1
+
+    def test_route_keys_exposed_for_senders(self, cascade):
+        assert len(cascade.route_keys) == 3

@@ -1,0 +1,71 @@
+"""Client-dropout robustness: rounds smaller than the proxy's list size.
+
+The paper assumes L = C; a real deployment sees stragglers.  The proxy's
+flush-at-round-end semantics must keep the equivalence guarantee even when
+fewer than ``k`` updates arrive (lists never fill, nothing streams, flush
+drains whatever is buffered).
+"""
+
+import numpy as np
+import pytest
+
+from repro.federated.update import aggregate_updates
+from repro.mixnn.enclave import SGXEnclaveSim
+from repro.mixnn.proxy import MixNNProxy
+from repro.utils.rng import rng_from_seed
+
+from ..conftest import make_updates
+
+
+@pytest.fixture()
+def underfilled_proxy(keypair):
+    return MixNNProxy(
+        enclave=SGXEnclaveSim(keypair=keypair, constant_time=False),
+        k=8,
+        rng=rng_from_seed(0),
+    )
+
+
+class TestUnderfilledRound:
+    def test_no_emission_before_flush(self, underfilled_proxy, small_model):
+        updates = make_updates(small_model, 5)  # 5 < k = 8
+        for update in updates:
+            assert underfilled_proxy.receive(underfilled_proxy.encrypt_for_proxy(update)) is None
+        assert underfilled_proxy.pending() == 5
+
+    def test_flush_emits_everything(self, underfilled_proxy, small_model):
+        updates = make_updates(small_model, 5)
+        emitted = underfilled_proxy.process_round(
+            [underfilled_proxy.encrypt_for_proxy(u) for u in updates]
+        )
+        assert len(emitted) == 5
+        assert sorted(m.apparent_id for m in emitted) == [u.sender_id for u in updates]
+
+    def test_equivalence_holds_when_underfilled(self, underfilled_proxy, small_model):
+        updates = make_updates(small_model, 5)
+        emitted = underfilled_proxy.process_round(
+            [underfilled_proxy.encrypt_for_proxy(u) for u in updates]
+        )
+        before = aggregate_updates(updates)
+        after = aggregate_updates(emitted)
+        for name in before:
+            np.testing.assert_allclose(before[name], after[name], atol=1e-5)
+
+    def test_varying_round_sizes_across_rounds(self, underfilled_proxy, small_model):
+        """Cohort shrinks then grows; each round is self-contained."""
+        for round_index, cohort in enumerate((6, 3, 8)):
+            updates = make_updates(small_model, cohort, seed=round_index, round_index=round_index)
+            emitted = underfilled_proxy.process_round(
+                [underfilled_proxy.encrypt_for_proxy(u) for u in updates]
+            )
+            assert len(emitted) == cohort
+            assert underfilled_proxy.pending() == 0
+
+    def test_single_participant_round(self, underfilled_proxy, small_model):
+        """Degenerate case: one participant gets its own update back."""
+        updates = make_updates(small_model, 1)
+        emitted = underfilled_proxy.process_round(
+            [underfilled_proxy.encrypt_for_proxy(u) for u in updates]
+        )
+        assert len(emitted) == 1
+        np.testing.assert_array_equal(emitted[0].flat(), updates[0].flat())

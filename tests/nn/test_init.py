@@ -1,0 +1,53 @@
+"""Weight initializers: scaling laws and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+from repro.utils.rng import rng_from_seed
+
+
+class TestFanComputation:
+    def test_dense_shape(self):
+        assert init._fan((3, 5)) == (5, 3)
+
+    def test_conv_shape(self):
+        assert init._fan((8, 3, 3, 3)) == (3 * 9, 8 * 9)
+
+    def test_vector_shape(self):
+        assert init._fan((7,)) == (7, 7)
+
+
+class TestGlorot:
+    def test_bounds(self):
+        w = init.glorot_uniform((100, 50), rng_from_seed(0))
+        limit = np.sqrt(6.0 / 150)
+        assert w.min() >= -limit and w.max() <= limit
+
+    def test_deterministic_per_seed(self):
+        a = init.glorot_uniform((4, 4), rng_from_seed(3))
+        b = init.glorot_uniform((4, 4), rng_from_seed(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_dtype(self):
+        assert init.glorot_uniform((2, 2), rng_from_seed(0)).dtype == np.float32
+
+
+class TestHe:
+    def test_he_normal_std(self):
+        w = init.he_normal((2000, 500), rng_from_seed(0))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 500), rel=0.05)
+
+    def test_he_uniform_bounds(self):
+        w = init.he_uniform((100, 64), rng_from_seed(0))
+        limit = np.sqrt(6.0 / 64)
+        assert np.abs(w).max() <= limit
+
+
+class TestOthers:
+    def test_zeros(self):
+        np.testing.assert_array_equal(init.zeros((3, 3)), np.zeros((3, 3)))
+
+    def test_normal_std(self):
+        w = init.normal((4000,), rng_from_seed(0), std=0.02)
+        assert w.std() == pytest.approx(0.02, rel=0.1)

@@ -1,0 +1,96 @@
+"""Training-level behaviour of the paper architectures.
+
+Not gradient-level checks (those live in test_functional / test_tensor_*),
+but the emergent properties the federated pipeline relies on: the paper CNNs
+actually learn their tasks, training is deterministic per seed, and train vs
+eval mode behaves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.base import ArrayDataset
+from repro.experiments.models import deepface_like, paper_cnn
+from repro.federated.client import LocalTrainingConfig, evaluate_accuracy, train_locally
+from repro.nn import Dropout, Linear, Sequential, Tensor
+from repro.utils.rng import rng_from_seed
+
+
+def image_task(num_classes: int = 4, per_class: int = 16, shape=(3, 8, 8)):
+    """A linearly separable image task: class = brightest quadrant."""
+    rng = rng_from_seed(0)
+    features, labels = [], []
+    for label in range(num_classes):
+        for _ in range(per_class):
+            img = 0.3 * rng.standard_normal(shape).astype(np.float32)
+            h, w = shape[1] // 2, shape[2] // 2
+            row, col = divmod(label, 2)
+            img[:, row * h : (row + 1) * h, col * w : (col + 1) * w] += 1.0
+            features.append(img)
+            labels.append(label)
+    return ArrayDataset(np.stack(features), np.array(labels))
+
+
+class TestPaperCNNLearns:
+    def test_learns_quadrant_task(self):
+        data = image_task()
+        model = paper_cnn((3, 8, 8), 4, rng_from_seed(1))
+        config = LocalTrainingConfig(local_epochs=6, batch_size=16, learning_rate=3e-3)
+        train_locally(model, data, config, rng_from_seed(2))
+        assert evaluate_accuracy(model, data) > 0.9
+
+    def test_three_conv_variant_learns_too(self):
+        data = image_task()
+        model = paper_cnn((3, 8, 8), 4, rng_from_seed(1), conv_layers=3)
+        config = LocalTrainingConfig(local_epochs=6, batch_size=16, learning_rate=3e-3)
+        train_locally(model, data, config, rng_from_seed(2))
+        assert evaluate_accuracy(model, data) > 0.8
+
+    def test_training_is_deterministic(self):
+        data = image_task()
+
+        def run():
+            model = paper_cnn((3, 8, 8), 4, rng_from_seed(1))
+            config = LocalTrainingConfig(local_epochs=2, batch_size=16)
+            train_locally(model, data, config, rng_from_seed(2))
+            return np.concatenate([v.ravel() for v in model.state_dict().values()])
+
+        np.testing.assert_array_equal(run(), run())
+
+
+class TestDeepFaceLearns:
+    def test_learns_binary_image_task(self):
+        rng = rng_from_seed(0)
+        bright = rng.standard_normal((24, 1, 12, 12)).astype(np.float32) + 0.8
+        dark = rng.standard_normal((24, 1, 12, 12)).astype(np.float32) - 0.8
+        data = ArrayDataset(
+            np.concatenate([bright, dark]),
+            np.array([1] * 24 + [0] * 24),
+        )
+        model = deepface_like((1, 12, 12), 2, rng_from_seed(1))
+        config = LocalTrainingConfig(local_epochs=4, batch_size=16, learning_rate=3e-3)
+        train_locally(model, data, config, rng_from_seed(2))
+        assert evaluate_accuracy(model, data) > 0.9
+
+
+class TestTrainEvalMode:
+    def test_dropout_changes_train_forward_only(self):
+        model = Sequential(Linear(8, 8, rng=rng_from_seed(0)), Dropout(0.5, rng=rng_from_seed(1)))
+        x = Tensor(np.ones((16, 8), dtype=np.float32))
+        model.train()
+        noisy_a = model(x).numpy()
+        noisy_b = model(x).numpy()
+        assert not np.allclose(noisy_a, noisy_b)  # fresh masks per call
+        model.eval()
+        clean_a = model(x).numpy()
+        clean_b = model(x).numpy()
+        np.testing.assert_array_equal(clean_a, clean_b)
+
+    def test_eval_under_no_grad_builds_no_graph(self):
+        from repro.nn import no_grad
+
+        model = paper_cnn((3, 8, 8), 4, rng_from_seed(0))
+        model.eval()
+        with no_grad():
+            out = model(Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32)))
+        assert not out.requires_grad

@@ -1,0 +1,63 @@
+"""Per-dataset pipeline integration: all four simulators through the stack.
+
+`tests/test_integration.py` proves the headline claims on MotionSense and
+CIFAR10; these runs make sure the LFW (DeepFace-like, locally connected) and
+MobiAct paths also survive the full client→defense→server loop with the
+equivalence guarantee intact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.defenses import MixNNDefense, NoDefense
+from repro.experiments.models import model_fn_for
+from repro.federated import FederatedSimulation, LocalTrainingConfig, SimulationConfig
+from repro.mixnn.enclave import SGXEnclaveSim
+from repro.utils.rng import rng_from_seed
+
+
+def two_round_run(dataset, defense):
+    config = SimulationConfig(
+        rounds=2,
+        local=LocalTrainingConfig(local_epochs=1, batch_size=16),
+        seed=0,
+        track_per_client_accuracy=False,
+    )
+    sim = FederatedSimulation(dataset, model_fn_for(dataset), config, defense=defense)
+    return sim.run()
+
+
+class TestLFWPipeline:
+    def test_deepface_model_trains_federatedly(self, tiny_lfw):
+        result = two_round_run(tiny_lfw, NoDefense())
+        assert len(result.rounds) == 2
+        assert 0.0 <= result.rounds[-1].global_accuracy <= 1.0
+
+    def test_mixnn_equivalence_with_locally_connected_layers(self, tiny_lfw, keypair):
+        fl = two_round_run(tiny_lfw, NoDefense())
+        mixnn = two_round_run(
+            tiny_lfw, MixNNDefense(enclave=SGXEnclaveSim(keypair=keypair), rng=rng_from_seed(7))
+        )
+        np.testing.assert_allclose(fl.accuracy_curve(), mixnn.accuracy_curve(), atol=1e-3)
+
+    def test_lfw_updates_contain_lc_layer_group(self, tiny_lfw):
+        result = two_round_run(tiny_lfw, NoDefense())
+        update = result.received_updates[0][0]
+        # DeepFace-like: conv(0), LC(3), two FC layers — four mixing units.
+        assert len(update.layers) == 4
+
+
+class TestMobiActPipeline:
+    def test_large_cohort_round(self, tiny_mobiact):
+        result = two_round_run(tiny_mobiact, NoDefense())
+        assert len(result.received_updates[0]) == 58
+
+    def test_mixnn_over_58_clients(self, tiny_mobiact, keypair):
+        result = two_round_run(
+            tiny_mobiact, MixNNDefense(enclave=SGXEnclaveSim(keypair=keypair), rng=rng_from_seed(7))
+        )
+        apparent = sorted(u.apparent_id for u in result.received_updates[0])
+        assert apparent == [c.client_id for c in tiny_mobiact.clients()]
+
+    def test_imbalanced_guess_baseline(self, tiny_mobiact):
+        assert tiny_mobiact.random_guess_accuracy == pytest.approx(38 / 58)
