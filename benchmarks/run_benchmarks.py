@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Record a perf snapshot so future PRs can track the trajectory.
+
+Runs the crypto/transport/mixing micro-benchmarks and the §6.5 system-perf
+pipeline measurement directly (no pytest involved), and writes the results to
+``BENCH_<date>.json`` next to this script (override with ``--output``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--output PATH] [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _git_revision() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=Path(__file__).parent,
+        )
+        return out.stdout.strip() or None
+    except Exception:
+        return None
+
+
+def collect(repeats: int) -> dict:
+    from repro.experiments.system_perf import run_system_perf
+    from repro.federated.update import aggregate_updates
+    from repro.mixnn.crypto import decrypt, encrypt, process_keypair, selftest
+    from repro.mixnn.mixing import mix_updates
+    from repro.mixnn.transport import pack_update, unpack_update
+    from repro.utils import native
+    from repro.utils.rng import rng_from_seed
+    from repro.experiments.models import paper_cnn
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import make_updates
+
+    selftest()
+    keypair = process_keypair()
+    payload = b"\x42" * 1_048_576
+    blob = encrypt(keypair.public, payload)
+
+    model = paper_cnn((3, 8, 8), 10, rng_from_seed(0))
+    updates = make_updates(model, 16)
+    packed = pack_update(updates[0], keypair.public)
+
+    results = {
+        "native_ctr_available": native.available(),
+        "encrypt_1mb_seconds": _best_of(lambda: encrypt(keypair.public, payload), repeats),
+        "decrypt_1mb_seconds": _best_of(lambda: decrypt(keypair, blob), repeats),
+        "pack_update_seconds": _best_of(lambda: pack_update(updates[0], keypair.public), repeats),
+        "unpack_update_seconds": _best_of(
+            lambda: unpack_update(decrypt(keypair, packed.ciphertext)), repeats
+        ),
+        "mix_16_updates_seconds": _best_of(lambda: mix_updates(updates, rng_from_seed(0)), repeats),
+        "aggregate_16_updates_seconds": _best_of(lambda: aggregate_updates(updates), repeats),
+    }
+    perf = run_system_perf()
+    results["system_perf"] = {
+        section: [row.__dict__ for row in rows] for section, rows in perf.items()
+    }
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=None, help="snapshot path (default: benchmarks/BENCH_<date>.json)")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing repeats")
+    args = parser.parse_args(argv)
+
+    date = _dt.date.today().isoformat()
+    output = args.output or Path(__file__).parent / f"BENCH_{date}.json"
+    snapshot = {
+        "date": date,
+        "git_revision": _git_revision(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": collect(args.repeats),
+    }
+    output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {output}")
+    for key, value in snapshot["results"].items():
+        if isinstance(value, float):
+            print(f"  {key}: {value*1e3:.2f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -75,7 +75,15 @@ def evaluate_accuracy(model: Module, dataset: ArrayDataset, batch_size: int = 25
 
 
 class FederatedClient:
-    """One participant: local data + a model replica + training config."""
+    """One participant: local data + a model replica + training config.
+
+    The model replica is built lazily on first use: with per-round client
+    subsampling, participants that are never selected never pay for weight
+    initialization.  Each client owns its replica and derives its training
+    RNG from ``(seed, client_id, round_index)`` alone, so ``local_update``
+    calls for *different* clients are thread-safe and order-independent —
+    the property the simulation's parallel round engine relies on.
+    """
 
     def __init__(
         self,
@@ -87,9 +95,19 @@ class FederatedClient:
         self.data = data
         self.config = config
         self.seed = seed
-        # The replica's initial weights are immediately overwritten by the
-        # first broadcast; a fixed-seed build keeps construction deterministic.
-        self.model = model_fn(rng_from_seed(seed))
+        self._model_fn = model_fn
+        self._model: Module | None = None
+
+    @property
+    def model(self) -> Module:
+        """The client's model replica, constructed on first access.
+
+        Initial weights are immediately overwritten by the first broadcast;
+        a fixed-seed build keeps construction deterministic regardless.
+        """
+        if self._model is None:
+            self._model = self._model_fn(rng_from_seed(self.seed))
+        return self._model
 
     @property
     def client_id(self) -> int:

@@ -14,6 +14,8 @@ paper's figures are built from:
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -37,7 +39,15 @@ __all__ = ["SimulationConfig", "RoundRecord", "SimulationResult", "FederatedSimu
 
 @dataclass(frozen=True)
 class SimulationConfig:
-    """Experiment-level knobs (paper §6.1.4 per-dataset values)."""
+    """Experiment-level knobs (paper §6.1.4 per-dataset values).
+
+    ``parallelism`` controls how many clients train concurrently each round
+    (a thread pool; the numpy/BLAS kernels release the GIL).  Every client
+    derives its training RNG from ``stable_seed(seed, client_id, round)``
+    independently of execution order, so results are bit-identical across
+    parallelism settings — and ``parallelism=1`` takes the exact sequential
+    code path.  ``None`` sizes the pool to the machine.
+    """
 
     rounds: int
     local: LocalTrainingConfig
@@ -45,10 +55,13 @@ class SimulationConfig:
     seed: int = 0
     sample_weighted: bool = False
     track_per_client_accuracy: bool = True
+    parallelism: int | None = 1
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if self.parallelism is not None and self.parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1 (or None for auto), got {self.parallelism}")
 
 
 @dataclass
@@ -141,14 +154,50 @@ class FederatedSimulation:
         chosen = self._selection_rng.choice(len(self.clients), size=count, replace=False)
         return [self.clients[i] for i in sorted(chosen)]
 
+    def _train_clients(
+        self, participants: list[FederatedClient], broadcast_state: dict, round_index: int
+    ) -> list[ModelUpdate]:
+        """Run local training for all selected clients, possibly in parallel.
+
+        The update list is always in ``participants`` order, and each client's
+        RNG is derived from its id and the round alone, so the result does not
+        depend on the parallelism setting.
+        """
+        workers = self.config.parallelism
+        if workers is None:
+            workers = min(len(participants), os.cpu_count() or 1)
+        if workers <= 1 or len(participants) <= 1:
+            return [client.local_update(broadcast_state, round_index) for client in participants]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(lambda c: c.local_update(broadcast_state, round_index), participants)
+            )
+
+    @staticmethod
+    def _mean_local_loss(updates: list[ModelUpdate]) -> float:
+        """Mean of the reported final losses, NaN-safe.
+
+        Defense-only or instrumentation runs may produce updates without a
+        ``final_loss`` (or with a NaN one); those are excluded rather than
+        poisoning the mean or emitting a RuntimeWarning on an empty slice.
+        """
+        losses = [
+            loss
+            for u in updates
+            if (loss := u.metadata.get("final_loss")) is not None and np.isfinite(loss)
+        ]
+        if not losses:
+            return float("nan")
+        return float(np.mean(losses))
+
     def run_round(self) -> RoundRecord:
         """One iteration of the Figure 2 / Figure 3 flow."""
         round_index = self.server.round_index
         broadcast_state = self.server.broadcast()
 
         participants = self._select_clients()
-        updates = [client.local_update(broadcast_state, round_index) for client in participants]
-        mean_loss = float(np.mean([u.metadata.get("final_loss", np.nan) for u in updates]))
+        updates = self._train_clients(participants, broadcast_state, round_index)
+        mean_loss = self._mean_local_loss(updates)
 
         received = self.defense.process_round(
             updates, self._defense_rng, broadcast_state=broadcast_state

@@ -27,10 +27,12 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+import os
 import secrets
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from .crypto import CryptoError, KeyPair, decrypt, generate_keypair
+from .crypto import CryptoError, KeyPair, decrypt, generate_keypair, stream_xor
 
 __all__ = [
     "EnclaveCostModel",
@@ -180,12 +182,7 @@ class SGXEnclaveSim:
         """Seal ``data`` for storage outside the enclave (key never leaves)."""
         nonce = secrets.token_bytes(16)
         key = hashlib.sha256(self._platform_secret + b"seal").digest()
-        stream = bytearray()
-        counter = 0
-        while len(stream) < len(data):
-            stream.extend(hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest())
-            counter += 1
-        body = bytes(a ^ b for a, b in zip(data, stream))
+        body = stream_xor(key, nonce, data)
         tag = hmac.new(key, nonce + body, hashlib.sha256).digest()
         return nonce + tag + body
 
@@ -195,12 +192,7 @@ class SGXEnclaveSim:
         expected = hmac.new(key, nonce + body, hashlib.sha256).digest()
         if not hmac.compare_digest(tag, expected):
             raise EnclaveError("sealed blob failed integrity check")
-        stream = bytearray()
-        counter = 0
-        while len(stream) < len(body):
-            stream.extend(hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest())
-            counter += 1
-        return bytes(a ^ b for a, b in zip(body, stream))
+        return stream_xor(key, nonce, body)
 
     # ------------------------------------------------------------------
     # Update processing (cost-modelled)
@@ -222,6 +214,40 @@ class SGXEnclaveSim:
         self._charge(cost)
         self.allocate(len(plaintext))
         return plaintext
+
+    def decrypt_many(self, ciphertexts: list[bytes], max_workers: int | None = None) -> list[bytes]:
+        """Decrypt a batch of updates, raising throughput with a thread pool.
+
+        The RSA-KEM, the fused native keystream and the HMAC all release the
+        GIL (big-int ``pow`` aside), so concurrent decryption scales on real
+        cores.  Accounting stays deterministic: costs are charged and memory
+        allocated serially in *message order* after all plaintexts are
+        recovered, so the simulated clock and EPC counters are bit-identical
+        to a sequential run.
+        """
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 1)
+        if max_workers <= 1 or len(ciphertexts) <= 1:
+            return [self.decrypt_update(c) for c in ciphertexts]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(self._decrypt_only, ciphertexts))
+        plaintexts: list[bytes] = []
+        for ciphertext, (plaintext, error) in zip(ciphertexts, results):
+            if error is not None:
+                self._charge(self.cost_model.decrypt_cost(len(ciphertext)))
+                raise error
+            cost = self.cost_model.decrypt_cost(len(ciphertext)) + self.cost_model.store_cost(len(plaintext))
+            self._charge(cost)
+            self.allocate(len(plaintext))
+            plaintexts.append(plaintext)
+        return plaintexts
+
+    def _decrypt_only(self, ciphertext: bytes) -> tuple[bytes | None, CryptoError | None]:
+        """Pure crypto work, safe to run off-thread (no shared-state writes)."""
+        try:
+            return decrypt(self.keypair, ciphertext), None
+        except CryptoError as exc:
+            return None, exc
 
     def charge_mixing(self, num_updates: int) -> None:
         self.clock_seconds += self.cost_model.mix_seconds_per_update * max(1, num_updates)

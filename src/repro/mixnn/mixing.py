@@ -88,17 +88,19 @@ def mix_updates(
     if matrix.shape != (len(updates), len(units)):
         raise ValueError(f"matrix shape {matrix.shape} != {(len(updates), len(units))}")
 
+    # Build the name→unit map once per batch, so each emitted update's state
+    # is assembled in schema order in a single pass (no per-update rebuild).
+    unit_of = {name: j for j, unit in enumerate(units) for name in unit}
+    column_of = [unit_of[name] for name in schema]
+
     mixed: list[ModelUpdate] = []
     for i, slot in enumerate(updates):
-        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
-        sources: list[int] = []
-        for j, unit in enumerate(units):
-            source = updates[int(matrix[i, j])]
-            sources.append(source.sender_id)
-            for name in unit:
-                state[name] = source.state[name].copy()
-        # Preserve the original schema order.
-        state = OrderedDict((name, state[name]) for name in schema)
+        row = matrix[i]
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict(
+            (name, updates[int(row[j])].state[name].copy())
+            for name, j in zip(schema, column_of)
+        )
+        sources = [updates[int(row[j])].sender_id for j in range(len(units))]
         mixed.append(
             ModelUpdate(
                 sender_id=-1,  # the server cannot name a true sender

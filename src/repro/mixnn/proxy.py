@@ -60,6 +60,7 @@ class MixNNProxy:
         k: int = 4,
         rng: np.random.Generator | None = None,
         granularity: str = "layer",
+        max_workers: int | None = None,
     ) -> None:
         if k < 1:
             raise ValueError(f"list capacity k must be >= 1, got {k}")
@@ -67,10 +68,15 @@ class MixNNProxy:
         self.k = k
         self.rng = rng or np.random.default_rng()
         self.granularity = granularity
+        #: decryption-pool width for :meth:`process_round`; ``None`` = auto.
+        self.max_workers = max_workers
         self.stats = ProxyStats()
         # Lazily keyed off the first update's schema.
         self._units: list[tuple[str, ...]] | None = None
         self._schema: tuple[str, ...] | None = None
+        # For each schema name, (unit index, index within the unit) — lets
+        # _compose assemble an emitted state in schema order in one pass.
+        self._compose_index: list[tuple[int, int]] = []
         self._lists: "OrderedDict[int, ObliviousList]" = OrderedDict()
         self._pending_ids: deque[int] = deque()
         self._round_index = 0
@@ -93,28 +99,37 @@ class MixNNProxy:
         if self._schema is None:
             self._schema = update.parameter_names
             self._units = [tuple(u) for u in _mixing_units(update, self.granularity)]
+            position = {
+                name: (unit_index, member_index)
+                for unit_index, unit in enumerate(self._units)
+                for member_index, name in enumerate(unit)
+            }
+            self._compose_index = [position[name] for name in self._schema]
             self._lists = OrderedDict((i, ObliviousList(self.k)) for i in range(len(self._units)))
         elif update.parameter_names != self._schema:
             raise KeyError("update schema differs from the proxy's configured model")
 
     def _store(self, update: ModelUpdate) -> None:
+        state = update.state
         for unit_index, unit in enumerate(self._units):
-            piece = OrderedDict((name, update.state[name]) for name in unit)
+            piece = tuple(state[name] for name in unit)
             self._lists[unit_index].insert((piece, update.sender_id))
         self._pending_ids.append(update.sender_id)
 
     def _compose(self) -> ModelUpdate:
         """Draw one random element per layer list and emit a mixed update."""
-        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        pieces: list[tuple] = []
         sources: list[int] = []
-        for unit_index, unit in enumerate(self._units):
+        for unit_index in range(len(self._units)):
             layer_list = self._lists[unit_index]
             choice = int(self.rng.integers(len(layer_list)))
             piece, source = layer_list.take(choice)
             sources.append(source)
-            for name in unit:
-                state[name] = piece[name]
-        state = OrderedDict((name, state[name]) for name in self._schema)
+            pieces.append(piece)
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict(
+            (name, pieces[unit_index][member_index])
+            for name, (unit_index, member_index) in zip(self._schema, self._compose_index)
+        )
         apparent = self._pending_ids.popleft()
         emitted = ModelUpdate(
             sender_id=-1,
@@ -139,6 +154,10 @@ class MixNNProxy:
         to send updates").
         """
         plaintext = self.enclave.decrypt_update(message.ciphertext)
+        return self._ingest(plaintext, len(message.ciphertext))
+
+    def _ingest(self, plaintext: bytes, ciphertext_len: int) -> ModelUpdate | None:
+        """Parse one decrypted message and run the §4.3 store/emit step."""
         update = unpack_update(plaintext)
         # Re-account: the serialized blob is replaced by the parsed arrays.
         self.enclave.free(len(plaintext))
@@ -146,7 +165,7 @@ class MixNNProxy:
         self._ensure_schema(update)
         self._round_index = update.round_index
         self.stats.received += 1
-        self.stats.bytes_in += len(message.ciphertext)
+        self.stats.bytes_in += ciphertext_len
 
         if not self._lists[0].full:
             self._store(update)
@@ -171,15 +190,24 @@ class MixNNProxy:
         return out
 
     def process_round(self, messages: list[EncryptedUpdate]) -> list[ModelUpdate]:
-        """Convenience: stream a whole round's messages, then flush.
+        """Stream a whole round's messages through a decryption pool, then flush.
 
-        With ``C`` arrivals this emits exactly ``C`` mixed updates
+        Ciphertexts are decrypted concurrently (:meth:`SGXEnclaveSim.decrypt_many`
+        — the DEM and MAC release the GIL), while the §4.3 mixing state machine
+        itself runs in message order, so the emission sequence and RNG draws
+        are identical to calling :meth:`receive` one message at a time.  The
+        EPC accounting honestly reflects the batch buffering: all decrypted
+        plaintexts are resident at once before ingestion begins.  With ``C``
+        arrivals this emits exactly ``C`` mixed updates
         (``C − k`` during streaming, ``k`` at flush), i.e. the §4.2 case
         ``L = C``.
         """
+        plaintexts = self.enclave.decrypt_many(
+            [message.ciphertext for message in messages], max_workers=self.max_workers
+        )
         emitted: list[ModelUpdate] = []
-        for message in messages:
-            maybe = self.receive(message)
+        for message, plaintext in zip(messages, plaintexts):
+            maybe = self._ingest(plaintext, len(message.ciphertext))
             if maybe is not None:
                 emitted.append(maybe)
         emitted.extend(self.flush())

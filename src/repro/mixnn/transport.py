@@ -1,9 +1,11 @@
 """Wire format between participants, the MixNN proxy, and the server.
 
-Participants serialize their update state to a compact ``.npz`` blob, prepend
-an envelope (sender slot, round), and encrypt the whole message to the
-enclave's public key (§4.1).  The proxy decrypts inside the enclave and
-re-materializes a :class:`~repro.federated.update.ModelUpdate`.
+Participants serialize their update state to a raw-framed blob (straight
+from the contiguous float32 parameter buffers — no intermediate archive
+encode), prepend an envelope (sender slot, round), and encrypt the whole
+message to the enclave's public key (§4.1).  The proxy decrypts inside the
+enclave and re-materializes a :class:`~repro.federated.update.ModelUpdate`
+whose arrays are zero-copy read-only views onto the decrypted plaintext.
 """
 
 from __future__ import annotations

@@ -9,11 +9,18 @@ Two representations are used throughout the reproduction:
 
 ``flatten``/``unflatten`` convert losslessly between the two given a
 :class:`StateSpec` captured from a model.
+
+The byte encoding (:func:`state_to_bytes`) is a raw framed format: a JSON
+schema header followed by the parameters' contiguous float32 buffers, written
+and read without any intermediate archive encode.  :func:`state_from_bytes`
+also still reads the legacy ``.npz`` encoding (sniffed by magic), so blobs
+and files produced by earlier versions keep loading.
 """
 
 from __future__ import annotations
 
 import io
+import json
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -31,6 +38,11 @@ __all__ = [
     "save_state",
     "load_state",
 ]
+
+#: Magic prefix of the raw framed state encoding ("Raw Weights v1").
+_RAW_MAGIC = b"RW01"
+#: Magic prefix of a zip archive, i.e. the legacy ``.npz`` encoding.
+_ZIP_MAGIC = b"PK\x03\x04"
 
 
 @dataclass(frozen=True)
@@ -85,23 +97,65 @@ def unflatten(vector: np.ndarray, spec: StateSpec) -> "OrderedDict[str, np.ndarr
 
 
 def state_to_bytes(state: dict) -> bytes:
-    """Serialize a state dict to a compact ``.npz`` byte string.
+    """Serialize a state dict to a compact raw-framed byte string.
 
-    This is the plaintext wire format participants encrypt to the enclave key.
+    This is the plaintext wire format participants encrypt to the enclave
+    key.  Layout: ``RW01 || u32 header_len || header || buffers`` where the
+    header is JSON ``{"names": [...], "shapes": [[...], ...]}`` and the
+    buffers are each parameter's contiguous float32 bytes in header order —
+    arrays already in contiguous float32 layout are appended without a copy.
     """
-    buffer = io.BytesIO()
-    np.savez(buffer, **{name: np.asarray(value, dtype=np.float32) for name, value in state.items()})
-    return buffer.getvalue()
+    # ascontiguousarray would promote 0-d scalars to 1-d and copy unnecessarily
+    # for the (overwhelmingly common) already-contiguous case.
+    arrays = [
+        a if a.flags.c_contiguous else np.ascontiguousarray(a)
+        for a in (np.asarray(value, dtype=np.float32) for value in state.values())
+    ]
+    header = json.dumps(
+        {"names": list(state.keys()), "shapes": [list(a.shape) for a in arrays]},
+        separators=(",", ":"),
+    ).encode()
+    parts = [_RAW_MAGIC, len(header).to_bytes(4, "big"), header]
+    # reshape(-1) is a view on the (already contiguous) buffer; it also turns
+    # 0-d scalars into 1-element vectors, which memoryview cannot cast.
+    parts.extend(memoryview(a.reshape(-1)).cast("B") for a in arrays)
+    return b"".join(parts)
 
 
 def state_from_bytes(blob: bytes) -> "OrderedDict[str, np.ndarray]":
-    """Inverse of :func:`state_to_bytes`, preserving key order."""
-    with np.load(io.BytesIO(blob)) as archive:
-        return OrderedDict((name, archive[name]) for name in archive.files)
+    """Inverse of :func:`state_to_bytes`, preserving key order.
+
+    Raw-framed blobs re-materialize as zero-copy float32 views onto ``blob``
+    (read-only; every consumer that mutates copies first).  Legacy ``.npz``
+    blobs are detected by magic and loaded through numpy.
+    """
+    if blob[:4] == _ZIP_MAGIC:
+        with np.load(io.BytesIO(blob)) as archive:
+            return OrderedDict((name, archive[name]) for name in archive.files)
+    if blob[:4] != _RAW_MAGIC:
+        raise ValueError("unrecognized state encoding (neither raw-framed nor .npz)")
+    header_len = int.from_bytes(blob[4:8], "big")
+    header = json.loads(blob[8 : 8 + header_len].decode())
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    offset = 8 + header_len
+    for name, shape in zip(header["names"], header["shapes"]):
+        size = int(np.prod(shape)) if shape else 1
+        nbytes = 4 * size
+        array = np.frombuffer(blob, dtype=np.float32, count=size, offset=offset)
+        out[name] = array.reshape(shape)
+        offset += nbytes
+    if offset != len(blob):
+        raise ValueError(f"state blob has {len(blob) - offset} trailing bytes")
+    return out
 
 
 def save_state(state: dict, path) -> None:
-    """Persist a state dict (or any name→array mapping) to an ``.npz`` file."""
+    """Persist a state dict (or any name→array mapping) to a file.
+
+    Writes the raw framed ``RW01`` encoding (see :func:`state_to_bytes`), which
+    only :func:`load_state`/:func:`state_from_bytes` read — not ``np.load``.
+    Files previously written in the ``.npz`` encoding still load fine.
+    """
     with open(path, "wb") as handle:
         handle.write(state_to_bytes(state))
 

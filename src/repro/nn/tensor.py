@@ -134,9 +134,12 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         grad = np.asarray(grad, dtype=np.float32)
         if self.grad is None:
+            # Own the buffer: callers may pass (and later reuse) their arrays.
             self.grad = grad.copy()
         else:
-            self.grad = self.grad + grad
+            # In place — the buffer is private from the copy above, so no
+            # reallocation per accumulation.
+            self.grad += grad
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor through the recorded graph."""

@@ -1,5 +1,8 @@
 """Round orchestration: configs, records, end-to-end mini-runs."""
 
+import warnings
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -10,6 +13,7 @@ from repro.federated import (
     LocalTrainingConfig,
     SimulationConfig,
 )
+from repro.federated.update import ModelUpdate
 
 
 @pytest.fixture()
@@ -113,3 +117,73 @@ class TestFederatedSimulation:
         sim = FederatedSimulation(tiny_motionsense, model_fn_for_dataset(tiny_motionsense), config)
         curve = sim.run().accuracy_curve()
         assert curve[-1] > 1.0 / tiny_motionsense.num_classes  # beats random
+
+
+class TestParallelRounds:
+    def test_parallelism_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(rounds=1, local=LocalTrainingConfig(), parallelism=0)
+
+    def test_parallel_runs_bit_identical_to_sequential(self, tiny_motionsense, fast_config):
+        def run(parallelism):
+            sim = FederatedSimulation(
+                tiny_motionsense,
+                model_fn_for_dataset(tiny_motionsense),
+                replace(fast_config, parallelism=parallelism),
+            )
+            return sim.run()
+
+        sequential = run(1)
+        parallel = run(4)
+        for a, b in zip(sequential.rounds, parallel.rounds):
+            assert a.global_accuracy == b.global_accuracy
+            assert a.mean_local_loss == b.mean_local_loss
+            assert a.per_client_accuracy == b.per_client_accuracy
+        for name in sequential.final_state:
+            assert np.array_equal(sequential.final_state[name], parallel.final_state[name])
+
+    def test_auto_parallelism_runs(self, tiny_motionsense, fast_config):
+        sim = FederatedSimulation(
+            tiny_motionsense,
+            model_fn_for_dataset(tiny_motionsense),
+            replace(fast_config, parallelism=None),
+        )
+        result = sim.run()
+        assert len(result.rounds) == fast_config.rounds
+
+    def test_update_order_matches_participants(self, tiny_motionsense, fast_config):
+        """Parallel training must not reorder the round's update list."""
+        sim = FederatedSimulation(
+            tiny_motionsense,
+            model_fn_for_dataset(tiny_motionsense),
+            replace(fast_config, parallelism=3),
+        )
+        result = sim.run()
+        for round_updates in result.received_updates:
+            senders = [u.sender_id for u in round_updates]
+            assert senders == sorted(senders)
+
+
+class TestMeanLossGuard:
+    def test_missing_final_loss_metadata_is_nan_without_warning(self):
+        updates = [ModelUpdate(sender_id=i, round_index=0, state={}) for i in range(3)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            value = FederatedSimulation._mean_local_loss(updates)
+        assert np.isnan(value)
+
+    def test_nan_losses_are_excluded(self):
+        updates = [
+            ModelUpdate(sender_id=0, round_index=0, state={}, metadata={"final_loss": 1.0}),
+            ModelUpdate(sender_id=1, round_index=0, state={}, metadata={"final_loss": float("nan")}),
+            ModelUpdate(sender_id=2, round_index=0, state={}, metadata={"final_loss": 3.0}),
+        ]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            value = FederatedSimulation._mean_local_loss(updates)
+        assert value == pytest.approx(2.0)
+
+    def test_empty_round_is_nan(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert np.isnan(FederatedSimulation._mean_local_loss([]))

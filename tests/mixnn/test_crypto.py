@@ -1,17 +1,26 @@
-"""Hybrid encryption: round trips, tampering, key handling."""
+"""Hybrid encryption: round trips, tampering, key handling, fast-path equivalence."""
 
 import numpy as np
 import pytest
 
 from repro.mixnn.crypto import (
     CryptoError,
+    KeyPair,
     decrypt,
     encrypt,
     generate_keypair,
     process_keypair,
+    selftest,
+    stream_xor,
     _is_probable_prime,
+    _keystream_bulk,
+    _keystream_reference,
     _random_prime,
+    _xor_bulk,
+    _xor_reference,
+    _NONCE_BYTES,
 )
+from repro.utils import native
 
 
 @pytest.fixture(scope="module")
@@ -73,10 +82,92 @@ class TestRoundTrip:
         assert len(blob) > 100 + kp.public.modulus_bytes
 
 
+class TestLargePayloads:
+    def test_one_megabyte_roundtrip(self, kp):
+        payload = np.random.default_rng(1).integers(0, 256, 1024 * 1024, dtype=np.uint8).tobytes()
+        assert decrypt(kp, encrypt(kp.public, payload)) == payload
+
+    def test_unaligned_large_roundtrip(self, kp):
+        # Not a multiple of the 32-byte keystream block.
+        payload = b"\xab" * (1024 * 1024 + 17)
+        assert decrypt(kp, encrypt(kp.public, payload)) == payload
+
+
+class TestKeystreamEquivalence:
+    """The vectorized DEM must produce the reference implementation's bytes."""
+
+    def test_selftest_passes(self):
+        assert selftest()
+
+    @pytest.mark.parametrize("length", [0, 1, 31, 32, 33, 64, 1000, 65_537])
+    def test_bulk_keystream_matches_reference(self, length):
+        key, nonce = b"\x01" * 32, b"\x02" * _NONCE_BYTES
+        assert _keystream_bulk(key, nonce, length) == _keystream_reference(key, nonce, length)
+
+    @pytest.mark.parametrize("length", [1, 33, 1000, 65_537])
+    def test_stream_xor_matches_reference(self, length):
+        key, nonce = b"\x03" * 32, b"\x04" * _NONCE_BYTES
+        data = (b"payload!" * (length // 8 + 1))[:length]
+        expected = _xor_reference(data, _keystream_reference(key, nonce, length))
+        assert stream_xor(key, nonce, data) == expected
+
+    def test_stream_xor_is_an_involution(self):
+        key, nonce = b"\x05" * 32, b"\x06" * _NONCE_BYTES
+        data = b"round and round" * 1000
+        assert stream_xor(key, nonce, stream_xor(key, nonce, data)) == data
+
+    def test_xor_bulk_matches_reference(self):
+        data, stream = b"\x00\xff\x55" * 100, b"\xaa" * 300
+        assert _xor_bulk(data, stream) == _xor_reference(data, stream)
+
+    @pytest.mark.skipif(not native.available(), reason="native CTR helper unavailable")
+    def test_native_path_matches_reference(self):
+        key, nonce = b"\x07" * 32, b"\x08" * _NONCE_BYTES
+        data = b"\x42" * 100_003
+        expected = _xor_reference(data, _keystream_reference(key, nonce, len(data)))
+        assert native.ctr_sha256_xor(key + nonce, data) == expected
+
+
+class TestCRTDecryption:
+    def test_private_op_matches_plain_pow(self, kp):
+        message = 987654321123456789
+        c = pow(message, kp.public.e, kp.n)
+        assert kp.private_op(c) == pow(c, kp.d, kp.n) == message
+
+    def test_keypair_without_factors_still_decrypts(self, kp):
+        stripped = KeyPair(public=kp.public, d=kp.d)
+        blob = encrypt(kp.public, b"no CRT hint available")
+        assert decrypt(stripped, blob) == b"no CRT hint available"
+
+    def test_generated_keypairs_carry_factors(self, kp):
+        assert kp.p is not None and kp.q is not None
+        assert kp.p * kp.q == kp.n
+
+
 class TestTampering:
     def test_body_flip_detected(self, kp):
         blob = bytearray(encrypt(kp.public, b"secret payload"))
         blob[-1] ^= 0x01
+        with pytest.raises(CryptoError, match="MAC"):
+            decrypt(kp, bytes(blob))
+
+    def test_nonce_flip_detected(self, kp):
+        blob = bytearray(encrypt(kp.public, b"secret payload"))
+        nonce_offset = 2 + kp.public.modulus_bytes
+        blob[nonce_offset] ^= 0x01
+        with pytest.raises(CryptoError, match="MAC"):
+            decrypt(kp, bytes(blob))
+
+    def test_mac_flip_detected(self, kp):
+        blob = bytearray(encrypt(kp.public, b"secret payload"))
+        mac_offset = 2 + kp.public.modulus_bytes + _NONCE_BYTES
+        blob[mac_offset] ^= 0x01
+        with pytest.raises(CryptoError, match="MAC"):
+            decrypt(kp, bytes(blob))
+
+    def test_large_payload_tamper_detected(self, kp):
+        blob = bytearray(encrypt(kp.public, b"\x00" * (1024 * 1024)))
+        blob[len(blob) // 2] ^= 0x80
         with pytest.raises(CryptoError, match="MAC"):
             decrypt(kp, bytes(blob))
 

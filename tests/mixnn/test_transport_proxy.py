@@ -134,6 +134,48 @@ class TestProxyRound:
         assert "k=3" in repr(proxy)
 
 
+class TestProxyDecryptionPool:
+    def test_pooled_round_identical_to_sequential(self, small_model, keypair):
+        """Concurrent decryption must not change what the proxy emits."""
+        from repro.mixnn.enclave import SGXEnclaveSim
+
+        def run(max_workers):
+            enclave = SGXEnclaveSim(keypair=keypair)
+            proxy = MixNNProxy(enclave=enclave, k=3, rng=rng_from_seed(0), max_workers=max_workers)
+            updates = make_updates(small_model, 6)
+            return proxy.process_round([proxy.encrypt_for_proxy(u) for u in updates])
+
+        sequential = run(1)
+        pooled = run(4)
+        assert [m.apparent_id for m in sequential] == [m.apparent_id for m in pooled]
+        assert [m.metadata["unit_sources"] for m in sequential] == [
+            m.metadata["unit_sources"] for m in pooled
+        ]
+        for a, b in zip(sequential, pooled):
+            for name in a.state:
+                np.testing.assert_array_equal(a.state[name], b.state[name])
+
+    def test_decrypt_many_matches_single_decrypts(self, small_model, keypair):
+        from repro.mixnn.crypto import encrypt
+        from repro.mixnn.enclave import SGXEnclaveSim
+
+        enclave = SGXEnclaveSim(keypair=keypair)
+        payloads = [bytes([i]) * (1000 + i) for i in range(5)]
+        ciphertexts = [encrypt(enclave.public_key, p) for p in payloads]
+        assert enclave.decrypt_many(ciphertexts, max_workers=4) == payloads
+
+    def test_decrypt_many_propagates_tampering(self, keypair):
+        from repro.mixnn.crypto import CryptoError, encrypt
+        from repro.mixnn.enclave import SGXEnclaveSim
+
+        enclave = SGXEnclaveSim(keypair=keypair)
+        good = encrypt(enclave.public_key, b"fine")
+        bad = bytearray(encrypt(enclave.public_key, b"tampered"))
+        bad[-1] ^= 0x01
+        with pytest.raises(CryptoError):
+            enclave.decrypt_many([good, bytes(bad)], max_workers=4)
+
+
 class TestProxyGranularity:
     def test_model_granularity_round(self, small_model, enclave):
         proxy = MixNNProxy(enclave=enclave, k=2, rng=rng_from_seed(0), granularity="model")

@@ -93,4 +93,45 @@ class TestBytes:
         state = model.state_dict()
         blob = state_to_bytes(state)
         raw = sum(v.nbytes for v in state.values())
-        assert len(blob) < raw + 4096  # npz header overhead only
+        assert len(blob) < raw + 4096  # framing overhead only
+
+
+class TestRawWireFormat:
+    def test_raw_magic_prefix(self, model):
+        assert state_to_bytes(model.state_dict())[:4] == b"RW01"
+
+    def test_legacy_npz_blob_still_loads(self, model):
+        import io
+
+        state = model.state_dict()
+        buffer = io.BytesIO()
+        np.savez(buffer, **state)
+        restored = state_from_bytes(buffer.getvalue())
+        assert list(restored.keys()) == list(state.keys())
+        for name in state:
+            np.testing.assert_array_equal(state[name], restored[name])
+
+    def test_unpacked_arrays_are_zero_copy_views(self, model):
+        state = model.state_dict()
+        restored = state_from_bytes(state_to_bytes(state))
+        for value in restored.values():
+            assert value.dtype == np.float32
+            assert not value.flags.writeable  # view onto the immutable blob
+
+    def test_scalar_and_empty_shapes_round_trip(self):
+        state = OrderedDict(
+            [("scalar", np.float32(3.5)), ("empty", np.zeros((0, 4), dtype=np.float32))]
+        )
+        restored = state_from_bytes(state_to_bytes(state))
+        assert restored["scalar"].shape == ()
+        assert float(restored["scalar"]) == 3.5
+        assert restored["empty"].shape == (0, 4)
+
+    def test_garbage_blob_rejected(self):
+        with pytest.raises(ValueError, match="encoding"):
+            state_from_bytes(b"\x00\x01\x02\x03 garbage")
+
+    def test_trailing_bytes_rejected(self, model):
+        blob = state_to_bytes(model.state_dict()) + b"\x00\x00"
+        with pytest.raises(ValueError, match="trailing"):
+            state_from_bytes(blob)
