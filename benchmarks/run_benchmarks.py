@@ -1,9 +1,13 @@
 #!/usr/bin/env python
 """Record a perf snapshot so future PRs can track the trajectory.
 
-Runs the crypto/transport/mixing micro-benchmarks and the §6.5 system-perf
-pipeline measurement directly (no pytest involved), and writes the results to
-``BENCH_<date>.json`` next to this script (override with ``--output``).
+Runs the crypto/transport/mixing micro-benchmarks, the flat-parameter-plane
+attack/aggregation micro-benchmarks, the round-throughput sweep (clients/sec
+at 16/64/256 simulated clients, flat vs retained reference path), and the
+§6.5 system-perf pipeline measurement directly (no pytest involved), and
+writes the results to ``BENCH_<date>.json`` next to this script (override
+with ``--output``).  An existing snapshot for the same date is never
+overwritten — the git revision is appended to the filename instead.
 
 Usage::
 
@@ -42,9 +46,100 @@ def _git_revision() -> str | None:
         return None
 
 
+#: ∇Sim scoring micro-benchmark workload (matches the recorded baseline):
+#: 64 observed updates, 8 sensitive classes, the paper_cnn (3, 8, 8) → 10.
+GRADSIM_UPDATES = 64
+GRADSIM_CLASSES = 8
+
+#: round-throughput sweep sizes (simulated clients per round)
+THROUGHPUT_COHORTS = (16, 64, 256)
+
+
+def _make_updates(model, count: int):
+    """conftest.make_updates, importable whether run as a script or a module."""
+    if str(Path(__file__).parent) not in sys.path:
+        sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import make_updates
+
+    return make_updates(model, count)
+
+
+def make_gradsim_workload(model, rng_seed: int = 42):
+    """Broadcast state, synthetic per-class reference states, and updates."""
+    from collections import OrderedDict
+
+    import numpy as np
+
+    from repro.utils.rng import rng_from_seed
+
+    broadcast = model.state_dict()
+    rng = rng_from_seed(rng_seed)
+    references = {
+        attribute: OrderedDict(
+            (name, value + 0.05 * rng.standard_normal(value.shape).astype(np.float32))
+            for name, value in broadcast.items()
+        )
+        for attribute in range(GRADSIM_CLASSES)
+    }
+    updates = _make_updates(model, GRADSIM_UPDATES)
+    return broadcast, references, updates
+
+
+def gradsim_attack_flat(broadcast, references, updates):
+    """The flat-plane ∇Sim scoring step (what ``on_round`` runs per round)."""
+    from repro.attacks.background import reference_delta_matrix
+    from repro.attacks.gradsim import score_updates
+
+    class_deltas = reference_delta_matrix(references, broadcast)
+    return score_updates(updates, broadcast, class_deltas)
+
+
+def gradsim_attack_reference(broadcast, references, updates):
+    """The retained dict-based scoring path (the pre-flat-plane seed code)."""
+    from repro.attacks.gradsim import score_updates_reference
+    from repro.federated.update import state_delta_reference
+    from repro.nn.serialization import flatten
+
+    class_deltas = {
+        attribute: flatten(state_delta_reference(state, broadcast))
+        for attribute, state in references.items()
+    }
+    return score_updates_reference(updates, broadcast, class_deltas)
+
+
+def round_throughput(model, repeats: int) -> dict:
+    """Server-side round overhead (mix + aggregate), flat vs reference path."""
+    from repro.federated.update import aggregate_updates, aggregate_updates_reference
+    from repro.mixnn.mixing import mix_updates, mix_updates_reference
+    from repro.utils.rng import rng_from_seed
+
+    sweep = {}
+    for cohort in THROUGHPUT_COHORTS:
+        updates = _make_updates(model, cohort)
+
+        def flat_round():
+            mixed = mix_updates(updates, rng_from_seed(0))
+            return aggregate_updates(mixed)
+
+        def reference_round():
+            mixed = mix_updates_reference(updates, rng_from_seed(0))
+            return aggregate_updates_reference(mixed)
+
+        flat_seconds = _best_of(flat_round, repeats)
+        reference_seconds = _best_of(reference_round, repeats)
+        sweep[str(cohort)] = {
+            "flat_round_seconds": flat_seconds,
+            "reference_round_seconds": reference_seconds,
+            "flat_clients_per_sec": cohort / flat_seconds,
+            "reference_clients_per_sec": cohort / reference_seconds,
+            "speedup": reference_seconds / flat_seconds,
+        }
+    return sweep
+
+
 def collect(repeats: int) -> dict:
     from repro.experiments.system_perf import run_system_perf
-    from repro.federated.update import aggregate_updates
+    from repro.federated.update import aggregate_updates, aggregate_updates_reference
     from repro.mixnn.crypto import decrypt, encrypt, process_keypair, selftest
     from repro.mixnn.mixing import mix_updates
     from repro.mixnn.transport import pack_update, unpack_update
@@ -52,17 +147,15 @@ def collect(repeats: int) -> dict:
     from repro.utils.rng import rng_from_seed
     from repro.experiments.models import paper_cnn
 
-    sys.path.insert(0, str(Path(__file__).parent))
-    from conftest import make_updates
-
     selftest()
     keypair = process_keypair()
     payload = b"\x42" * 1_048_576
     blob = encrypt(keypair.public, payload)
 
     model = paper_cnn((3, 8, 8), 10, rng_from_seed(0))
-    updates = make_updates(model, 16)
+    updates = _make_updates(model, 16)
     packed = pack_update(updates[0], keypair.public)
+    broadcast, references, gradsim_updates = make_gradsim_workload(model)
 
     results = {
         "native_ctr_available": native.available(),
@@ -74,7 +167,17 @@ def collect(repeats: int) -> dict:
         ),
         "mix_16_updates_seconds": _best_of(lambda: mix_updates(updates, rng_from_seed(0)), repeats),
         "aggregate_16_updates_seconds": _best_of(lambda: aggregate_updates(updates), repeats),
+        "aggregate_16_updates_reference_seconds": _best_of(
+            lambda: aggregate_updates_reference(updates), repeats
+        ),
+        "gradsim_attack_seconds": _best_of(
+            lambda: gradsim_attack_flat(broadcast, references, gradsim_updates), repeats
+        ),
+        "gradsim_attack_reference_seconds": _best_of(
+            lambda: gradsim_attack_reference(broadcast, references, gradsim_updates), repeats
+        ),
     }
+    results["round_throughput"] = round_throughput(model, repeats)
     perf = run_system_perf()
     results["system_perf"] = {
         section: [row.__dict__ for row in rows] for section, rows in perf.items()
@@ -89,7 +192,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     date = _dt.date.today().isoformat()
-    output = args.output or Path(__file__).parent / f"BENCH_{date}.json"
+    output = args.output
+    if output is None:
+        output = Path(__file__).parent / f"BENCH_{date}.json"
+        if output.exists():
+            # never clobber a recorded snapshot (it is the regression baseline)
+            revision = _git_revision() or "local"
+            output = Path(__file__).parent / f"BENCH_{date}_{revision}.json"
     snapshot = {
         "date": date,
         "git_revision": _git_revision(),

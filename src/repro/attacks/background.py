@@ -23,7 +23,7 @@ from ..federated.client import LocalTrainingConfig, train_locally
 from ..nn import Module
 from ..utils.rng import rng_from_seed
 
-__all__ = ["build_reference_states", "reference_deltas"]
+__all__ = ["build_reference_states", "reference_deltas", "reference_delta_matrix"]
 
 
 def build_reference_states(
@@ -67,11 +67,30 @@ def build_reference_states(
 
 
 def reference_deltas(reference_states: dict[int, dict], broadcast_state: dict) -> dict[int, np.ndarray]:
-    """Flattened gradient direction of each reference model vs the broadcast."""
-    from ..federated.update import state_delta
-    from ..nn.serialization import flatten
+    """Flattened gradient direction of each reference model vs the broadcast.
 
-    return {
-        attribute: flatten(state_delta(state, broadcast_state))
-        for attribute, state in reference_states.items()
-    }
+    Each delta is one vectorized subtract on the flat parameter plane (the
+    per-class vectors are the rows of :func:`reference_delta_matrix`).
+    """
+    attributes, matrix = reference_delta_matrix(reference_states, broadcast_state)
+    return {attribute: matrix[i] for i, attribute in enumerate(attributes)}
+
+
+def reference_delta_matrix(
+    reference_states: dict[int, dict], broadcast_state: dict
+) -> tuple[list[int], np.ndarray]:
+    """All class directions as one ``(K, D)`` float32 matrix.
+
+    Returns ``(attributes, matrix)`` with row ``i`` the flat gradient
+    direction of class ``attributes[i]`` — the right-hand operand of the
+    ∇Sim scoring matmul (:func:`repro.attacks.gradsim.score_updates`).
+    """
+    from ..federated.flat import FlatUpdateBatch
+    from ..nn.serialization import schema_of
+
+    attributes = list(reference_states)
+    schema = schema_of(broadcast_state)
+    batch = FlatUpdateBatch.from_states(
+        [reference_states[attribute] for attribute in attributes], schema=schema
+    )
+    return attributes, batch.deltas(broadcast_state)

@@ -27,12 +27,19 @@ import numpy as np
 
 from ..data.base import ClientDataset
 from ..federated.client import LocalTrainingConfig
+from ..federated.flat import FlatUpdateBatch
 from ..federated.update import ModelUpdate, aggregate_states
 from ..nn import Module
 from ..nn.serialization import flatten
-from .background import build_reference_states, reference_deltas
+from .background import build_reference_states, reference_delta_matrix
 
-__all__ = ["cosine_similarity", "GradSimAttack", "RoundInference"]
+__all__ = [
+    "cosine_similarity",
+    "score_updates",
+    "score_updates_reference",
+    "GradSimAttack",
+    "RoundInference",
+]
 
 
 def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
@@ -43,6 +50,66 @@ def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
     if norm == 0.0:
         return 0.0
     return float(np.dot(a, b) / norm)
+
+
+def score_updates(
+    updates: list[ModelUpdate],
+    broadcast_state: dict,
+    class_deltas: "dict[int, np.ndarray] | tuple[list[int], np.ndarray]",
+) -> dict[int, dict[int, float]]:
+    """∇Sim scoring of a whole round on the flat parameter plane.
+
+    All ``N`` update directions against all ``K`` class directions in one
+    ``(N, D) @ (D, K)`` matmul — the per-update, per-class cosine loop is
+    retained as :func:`score_updates_reference` and agrees to float32
+    precision (same argmax on non-degenerate data).
+
+    ``class_deltas`` is either the ``{attribute: direction}`` dict of
+    :func:`~repro.attacks.background.reference_deltas` or, fastest, the
+    ``(attributes, matrix)`` pair of
+    :func:`~repro.attacks.background.reference_delta_matrix`.
+
+    Returns ``{apparent_id: {attribute: cosine}}`` with the dict orders the
+    reference produces (update order / class insertion order).
+    """
+    if isinstance(class_deltas, tuple):
+        attributes, reference_matrix = class_deltas
+        reference_matrix = np.asarray(reference_matrix, dtype=np.float32)
+    else:
+        attributes = list(class_deltas)
+        reference_matrix = np.stack(
+            [np.asarray(class_deltas[a], dtype=np.float32).ravel() for a in attributes]
+        )  # (K, D)
+    deltas = FlatUpdateBatch.delta_matrix(updates, broadcast_state)  # (N, D) float32
+    dots = deltas @ reference_matrix.T  # sgemm, (N, K)
+    delta_norms = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+    reference_norms = np.sqrt(np.einsum("ij,ij->i", reference_matrix, reference_matrix))
+    denom = (delta_norms[:, None] * reference_norms[None, :]).astype(np.float64)
+    cosines = np.divide(
+        dots.astype(np.float64), denom, out=np.zeros((len(updates), len(attributes))), where=denom != 0.0
+    )
+    return {
+        update.apparent_id: {
+            attribute: float(cosines[i, j]) for j, attribute in enumerate(attributes)
+        }
+        for i, update in enumerate(updates)
+    }
+
+
+def score_updates_reference(
+    updates: list[ModelUpdate],
+    broadcast_state: dict,
+    class_deltas: dict[int, np.ndarray],
+) -> dict[int, dict[int, float]]:
+    """Retained per-update, per-class implementation of :func:`score_updates`."""
+    out: dict[int, dict[int, float]] = {}
+    for update in updates:
+        direction = flatten(update.delta(broadcast_state))
+        out[update.apparent_id] = {
+            attribute: cosine_similarity(direction, delta)
+            for attribute, delta in class_deltas.items()
+        }
+    return out
 
 
 @dataclass
@@ -129,17 +196,11 @@ class GradSimAttack:
                 ratio=self.background_ratio,
                 attack_epochs=self.attack_epochs,
             )
-        class_deltas = reference_deltas(references, broadcast_state)
+        class_deltas = reference_delta_matrix(references, broadcast_state)
 
-        round_similarities: dict[int, dict[int, float]] = {}
-        for update in updates:
-            direction = flatten(update.delta(broadcast_state))
-            sims = {
-                attribute: cosine_similarity(direction, delta)
-                for attribute, delta in class_deltas.items()
-            }
-            round_similarities[update.apparent_id] = sims
-            cumulative = self._scores.setdefault(update.apparent_id, {})
+        round_similarities = score_updates(updates, broadcast_state, class_deltas)
+        for apparent_id, sims in round_similarities.items():
+            cumulative = self._scores.setdefault(apparent_id, {})
             for attribute, value in sims.items():
                 cumulative[attribute] = cumulative.get(attribute, 0.0) + value
 

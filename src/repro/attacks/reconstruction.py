@@ -24,18 +24,28 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..federated.flat import FlatUpdateBatch, unit_columns
 from ..federated.update import ModelUpdate, layer_groups, state_delta
-from ..nn.serialization import flatten
-from .gradsim import cosine_similarity
 
 __all__ = ["neighbor_counts", "pairwise_distances", "RelinkAttack", "RelinkReport"]
 
 
 def pairwise_distances(updates: list[ModelUpdate], broadcast_state: dict) -> np.ndarray:
-    """Euclidean distance matrix between participants' update directions."""
-    directions = np.stack([flatten(u.delta(broadcast_state)) for u in updates]).astype(np.float64)
-    diff = directions[:, None, :] - directions[None, :, :]
-    return np.sqrt((diff**2).sum(axis=-1))
+    """Euclidean distance matrix between participants' update directions.
+
+    Computed from the ``(N, D)`` delta matrix via the Gram identity
+    ``‖a − b‖² = ‖a‖² + ‖b‖² − 2⟨a, b⟩`` — one matmul instead of an
+    ``(N, N, D)`` broadcast difference, which at 256 participants would
+    materialize gigabytes.
+    """
+    directions = FlatUpdateBatch.delta_matrix(updates, broadcast_state).astype(np.float64)
+    gram = directions @ directions.T
+    squared = np.diag(gram)
+    distances_sq = squared[:, None] + squared[None, :] - 2.0 * gram
+    np.maximum(distances_sq, 0.0, out=distances_sq)  # clamp float round-off
+    distances = np.sqrt(distances_sq)
+    np.fill_diagonal(distances, 0.0)
+    return distances
 
 
 def neighbor_counts(
@@ -74,26 +84,48 @@ class RelinkAttack:
     classify every *layer piece* of every emitted update independently; if
     layer pieces were individually fingerprintable, pieces of one original
     update would receive consistent labels and could be regrouped.
+
+    Classification runs on the flat parameter plane: for each layer, all
+    emitted pieces are scored against all classes with one
+    ``(N, d_layer) @ (d_layer, K)`` matmul instead of nested per-piece,
+    per-class cosine loops.
     """
 
     def __init__(self, reference_states: dict[int, dict], broadcast_state: dict) -> None:
         self.broadcast_state = broadcast_state
-        # Pre-split each reference direction by layer group.
-        self.layer_names = layer_groups(list(broadcast_state.keys()))
-        self.class_layer_deltas: dict[int, dict[str, np.ndarray]] = {}
-        for attribute, state in reference_states.items():
-            delta = state_delta(state, broadcast_state)
-            self.class_layer_deltas[attribute] = {
-                layer: np.concatenate([delta[name].ravel() for name in names])
-                for layer, names in self.layer_names.items()
-            }
+        self.layer_names = layer_groups(tuple(broadcast_state.keys()))
+        #: class label per row of the per-layer reference matrices
+        self.attributes = list(reference_states)
+        from ..nn.serialization import schema_of
 
-    def _classify_piece(self, layer: str, piece: np.ndarray) -> int:
-        scores = {
-            attribute: cosine_similarity(piece, deltas[layer])
-            for attribute, deltas in self.class_layer_deltas.items()
-        }
-        return max(scores.items(), key=lambda kv: kv[1])[0]
+        schema = schema_of(broadcast_state)
+        # (K, D) class-direction matrix in *broadcast schema order* (a
+        # reference state may order its keys differently), pre-split into
+        # per-layer columns.
+        class_deltas = np.stack(
+            [
+                np.concatenate(
+                    [
+                        np.asarray(delta[name], dtype=np.float32).ravel()
+                        for name in schema.names
+                    ]
+                )
+                for delta in (
+                    state_delta(state, broadcast_state) for state in reference_states.values()
+                )
+            ]
+        )
+        self._class_layer_matrices: list[np.ndarray] = []
+        self._class_layer_norms: list[np.ndarray] = []
+        self._columns: list[slice | np.ndarray] = unit_columns(
+            schema, [names for names in self.layer_names.values()]
+        )
+        for column in self._columns:
+            layer_matrix = class_deltas[:, column]  # (K, d_layer)
+            self._class_layer_matrices.append(layer_matrix)
+            self._class_layer_norms.append(
+                np.linalg.norm(layer_matrix.astype(np.float64), axis=1)
+            )
 
     def run(
         self,
@@ -101,23 +133,42 @@ class RelinkAttack:
         true_attributes: dict[int, int] | None = None,
     ) -> RelinkReport:
         """Attempt to re-link a round of mixed updates."""
-        assignments: list[list[int]] = []
+        if not mixed_updates:
+            return RelinkReport(piece_assignments=[], consistency_rate=0.0, piece_accuracy=None)
+        deltas = FlatUpdateBatch.delta_matrix(mixed_updates, self.broadcast_state)  # (N, D)
+
+        count = len(mixed_updates)
+        predicted = np.empty((count, len(self._columns)), dtype=np.int64)
+        for layer_index, column in enumerate(self._columns):
+            pieces = deltas[:, column]  # (N, d_layer)
+            layer_matrix = self._class_layer_matrices[layer_index]
+            dots = pieces @ layer_matrix.T  # (N, K)
+            piece_norms = np.sqrt(np.einsum("ij,ij->i", pieces, pieces, dtype=np.float64))
+            denom = piece_norms[:, None] * self._class_layer_norms[layer_index][None, :]
+            cosines = np.divide(
+                dots.astype(np.float64),
+                denom,
+                out=np.zeros((count, layer_matrix.shape[0])),
+                where=denom != 0.0,
+            )
+            # first-max argmax matches the reference's dict-iteration max
+            predicted[:, layer_index] = np.argmax(cosines, axis=1)
+
+        assignments: list[list[int]] = [
+            [self.attributes[int(k)] for k in row] for row in predicted
+        ]
         piece_hits = 0
         piece_total = 0
-        for update in mixed_updates:
-            delta = update.delta(self.broadcast_state)
-            update_assignment: list[int] = []
-            sources = update.metadata.get("unit_sources")
-            for layer_index, (layer, names) in enumerate(self.layer_names.items()):
-                piece = np.concatenate([delta[name].ravel() for name in names])
-                predicted = self._classify_piece(layer, piece)
-                update_assignment.append(predicted)
-                if true_attributes is not None and sources is not None:
+        if true_attributes is not None:
+            for update, update_assignment in zip(mixed_updates, assignments):
+                sources = update.metadata.get("unit_sources")
+                if sources is None:
+                    continue
+                for layer_index, prediction in enumerate(update_assignment):
                     source = sources[layer_index]
                     if source in true_attributes:
                         piece_total += 1
-                        piece_hits += int(predicted == true_attributes[source])
-            assignments.append(update_assignment)
+                        piece_hits += int(prediction == true_attributes[source])
         consistent = sum(1 for a in assignments if len(set(a)) == 1)
         return RelinkReport(
             piece_assignments=assignments,

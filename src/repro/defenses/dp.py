@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..federated.update import ModelUpdate, state_delta
+from ..federated.flat import FlatUpdateBatch, row_norms
+from ..federated.update import ModelUpdate
 from .base import Defense
 
 __all__ = ["ClipAndNoiseDefense", "delta_norm", "clip_delta"]
@@ -61,23 +62,34 @@ class ClipAndNoiseDefense(Defense):
         rng: np.random.Generator,
         broadcast_state: dict | None = None,
     ) -> list[ModelUpdate]:
+        """Clip + noise the whole round on the flat plane.
+
+        One ``(N, D)`` delta subtract, one float64 norm per row, one noise
+        draw.  The generator stream matches the per-update per-parameter loop
+        this replaces, so seeded rounds add identical noise.
+        """
         if broadcast_state is None:
             raise ValueError("ClipAndNoiseDefense needs the broadcast state to compute deltas")
         sigma = self.noise_multiplier * self.clip_norm
-        out: list[ModelUpdate] = []
-        for update in updates:
-            delta = state_delta(update.state, broadcast_state)
-            clipped = clip_delta(delta, self.clip_norm)
-            processed = update.copy()
-            for name in processed.state:
-                noise = rng.normal(0.0, sigma, size=clipped[name].shape).astype(np.float32)
-                processed.state[name] = (
-                    np.asarray(broadcast_state[name], dtype=np.float32) + clipped[name] + noise
-                )
-            processed.metadata["clip_norm"] = self.clip_norm
-            processed.metadata["noise_multiplier"] = self.noise_multiplier
-            out.append(processed)
-        return out
+        batch = FlatUpdateBatch.from_updates(updates)
+        reference = batch.schema.pack(broadcast_state)
+        deltas = batch.matrix - reference
+        # norm of the float32 delta (what clip_delta sees), not of the exact
+        # float64 difference
+        norms = row_norms(deltas, batch.schema)
+        # scale rows above the bound down to it (DP-FedAvg clip); zero-norm
+        # rows keep scale 1 like the reference clip
+        scales = np.ones(len(batch))
+        over = (norms > self.clip_norm) & (norms > 0.0)
+        scales[over] = self.clip_norm / norms[over]
+        # float32 multiply with the float32-cast scale, matching clip_delta's
+        # weak-scalar (NEP 50) promotion
+        clipped = deltas * scales[:, None].astype(np.float32)
+        noise = rng.normal(0.0, sigma, size=batch.matrix.shape).astype(np.float32)
+        processed = batch.with_matrix(reference + clipped + noise)
+        return processed.to_updates(
+            extra_metadata={"clip_norm": self.clip_norm, "noise_multiplier": self.noise_multiplier}
+        )
 
     def __repr__(self) -> str:
         return (

@@ -7,12 +7,18 @@ are far smaller, so the default ``sigma`` is calibrated (see EXPERIMENTS.md)
 to reproduce the paper's *reported effect* — roughly a 10-point accuracy drop
 with slower convergence, and partial (not full) protection against ∇Sim.
 Both the paper-literal and calibrated settings are available.
+
+Runs on the flat parameter plane: the round's updates are one ``(N, D)``
+matrix and the noise is one ``(N, D)`` draw.  The generator stream is
+consumed in the same row-major order as the per-update, per-parameter loop
+it replaces, so seeded rounds produce identical values.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..federated.flat import FlatUpdateBatch
 from ..federated.update import ModelUpdate
 from .base import Defense
 
@@ -35,16 +41,10 @@ class GaussianNoiseDefense(Defense):
         rng: np.random.Generator,
         broadcast_state: dict | None = None,
     ) -> list[ModelUpdate]:
-        noisy: list[ModelUpdate] = []
-        for update in updates:
-            perturbed = update.copy()
-            for name, value in perturbed.state.items():
-                perturbed.state[name] = value + rng.normal(0.0, self.sigma, size=value.shape).astype(
-                    np.float32
-                )
-            perturbed.metadata["noise_sigma"] = self.sigma
-            noisy.append(perturbed)
-        return noisy
+        batch = FlatUpdateBatch.from_updates(updates)
+        noise = rng.normal(0.0, self.sigma, size=batch.matrix.shape).astype(np.float32)
+        noisy = batch.with_matrix(batch.matrix + noise)
+        return noisy.to_updates(extra_metadata={"noise_sigma": self.sigma})
 
     def __repr__(self) -> str:
         return f"GaussianNoiseDefense(sigma={self.sigma})"

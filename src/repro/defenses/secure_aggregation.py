@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..federated.flat import FlatUpdateBatch
 from ..federated.update import ModelUpdate
 from ..utils.rng import rng_from_seed
 from .base import Defense
@@ -32,7 +33,15 @@ __all__ = ["SecureAggregationDefense"]
 
 
 class SecureAggregationDefense(Defense):
-    """Pairwise-masked updates: the server learns only the aggregate."""
+    """Pairwise-masked updates: the server learns only the aggregate.
+
+    Masking runs on the flat parameter plane: the round is one float64
+    ``(N, D)`` accumulator and each pairwise seed expands to a single
+    ``D``-vector that is added to row ``i`` and subtracted from row ``j`` —
+    one PRG expansion per pair instead of one per (pair, participant, name).
+    The PRG stream per seed and the per-row accumulation order match the
+    per-parameter loop this replaces, so seeded rounds are value-identical.
+    """
 
     name = "secure-aggregation"
 
@@ -41,13 +50,10 @@ class SecureAggregationDefense(Defense):
             raise ValueError(f"mask_scale must be positive, got {mask_scale}")
         self.mask_scale = mask_scale
 
-    def _pair_mask(self, seed: int, shapes: dict) -> dict[str, np.ndarray]:
-        """The PRG expansion of one pairwise seed over the model schema."""
+    def _pair_mask(self, seed: int, total_size: int) -> np.ndarray:
+        """The PRG expansion of one pairwise seed over the flat plane."""
         prg = rng_from_seed(seed)
-        return {
-            name: (prg.standard_normal(shape) * self.mask_scale).astype(np.float64)
-            for name, shape in shapes.items()
-        }
+        return prg.standard_normal(total_size) * self.mask_scale
 
     def process_round(
         self,
@@ -56,7 +62,7 @@ class SecureAggregationDefense(Defense):
         broadcast_state: dict | None = None,
     ) -> list[ModelUpdate]:
         count = len(updates)
-        shapes = {name: value.shape for name, value in updates[0].state.items()}
+        batch = FlatUpdateBatch.from_updates(updates)
         # Fresh pairwise seeds for this round (the trusted-dealer stand-in
         # for the real protocol's key agreement).
         seeds = {
@@ -64,26 +70,15 @@ class SecureAggregationDefense(Defense):
             for i in range(count)
             for j in range(i + 1, count)
         }
-        masked: list[ModelUpdate] = []
-        for i, update in enumerate(updates):
-            accumulator = {
-                name: np.asarray(value, dtype=np.float64).copy()
-                for name, value in update.state.items()
-            }
-            for j in range(count):
-                if j == i:
-                    continue
-                pair = (i, j) if i < j else (j, i)
-                mask = self._pair_mask(seeds[pair], shapes)
-                sign = 1.0 if i < j else -1.0
-                for name in accumulator:
-                    accumulator[name] += sign * mask[name]
-            out = update.copy()
-            for name in out.state:
-                out.state[name] = accumulator[name].astype(np.float32)
-            out.metadata["masked"] = True
-            masked.append(out)
-        return masked
+        accumulator = batch.matrix.astype(np.float64)
+        # Ascending (i, j) iteration applies row r's masks in the same order
+        # as the reference per-update loop: all j < r first, then all j > r.
+        for (i, j), seed in seeds.items():
+            mask = self._pair_mask(seed, batch.schema.total_size)
+            accumulator[i] += mask
+            accumulator[j] -= mask
+        masked = batch.with_matrix(accumulator.astype(np.float32))
+        return masked.to_updates(extra_metadata={"masked": True})
 
     def __repr__(self) -> str:
         return f"SecureAggregationDefense(mask_scale={self.mask_scale})"

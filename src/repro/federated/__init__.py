@@ -7,6 +7,7 @@ from .client import (
     evaluate_accuracy,
     train_locally,
 )
+from .flat import FlatState, FlatUpdateBatch, row_norms, unit_columns
 from .server import AggregationServer, ServerObserver
 from .simulation import (
     FederatedSimulation,
@@ -31,6 +32,10 @@ __all__ = [
     "trimmed_mean",
     "norm_filtered_mean",
     "state_delta",
+    "FlatState",
+    "FlatUpdateBatch",
+    "unit_columns",
+    "row_norms",
     "FederatedClient",
     "LocalTrainingConfig",
     "train_locally",

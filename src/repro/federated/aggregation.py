@@ -9,6 +9,11 @@ coordinates *across layers of one participant* (e.g. norm-based update
 filtering).  This module provides the rules and the test suite demonstrates
 both facts, which matters to anyone deploying MixNN in front of a robust
 aggregator.
+
+All rules run on the flat parameter plane — one ``np.median``/``np.sort``/
+``einsum`` over the round's ``(N, D)`` matrix instead of per-parameter
+stacking — and each keeps its dict-based implementation as a ``*_reference``
+cross-checked by the equivalence tests.
 """
 
 from __future__ import annotations
@@ -17,9 +22,17 @@ from collections import OrderedDict
 
 import numpy as np
 
+from .flat import FlatUpdateBatch, flat_mean
 from .update import ModelUpdate
 
-__all__ = ["coordinate_median", "trimmed_mean", "norm_filtered_mean"]
+__all__ = [
+    "coordinate_median",
+    "coordinate_median_reference",
+    "trimmed_mean",
+    "trimmed_mean_reference",
+    "norm_filtered_mean",
+    "norm_filtered_mean_reference",
+]
 
 
 def _stack(updates: list[ModelUpdate], name: str) -> np.ndarray:
@@ -30,6 +43,14 @@ def coordinate_median(updates: list[ModelUpdate]) -> "OrderedDict[str, np.ndarra
     """Coordinate-wise median of the updates (Byzantine-robust)."""
     if not updates:
         raise ValueError("cannot aggregate an empty update list")
+    batch = FlatUpdateBatch.from_updates(updates)
+    return batch.schema.views(batch.median())
+
+
+def coordinate_median_reference(updates: list[ModelUpdate]) -> "OrderedDict[str, np.ndarray]":
+    """Retained per-parameter implementation of :func:`coordinate_median`."""
+    if not updates:
+        raise ValueError("cannot aggregate an empty update list")
     return OrderedDict(
         (name, np.median(_stack(updates, name), axis=0).astype(np.float32))
         for name in updates[0].state
@@ -38,6 +59,16 @@ def coordinate_median(updates: list[ModelUpdate]) -> "OrderedDict[str, np.ndarra
 
 def trimmed_mean(updates: list[ModelUpdate], trim: int = 1) -> "OrderedDict[str, np.ndarray]":
     """Coordinate-wise mean after dropping the ``trim`` extremes on each side."""
+    if not updates:
+        raise ValueError("cannot aggregate an empty update list")
+    if 2 * trim >= len(updates):
+        raise ValueError(f"trim={trim} removes all of {len(updates)} updates")
+    batch = FlatUpdateBatch.from_updates(updates)
+    return batch.schema.views(batch.trimmed_mean(trim))
+
+
+def trimmed_mean_reference(updates: list[ModelUpdate], trim: int = 1) -> "OrderedDict[str, np.ndarray]":
+    """Retained per-parameter implementation of :func:`trimmed_mean`."""
     if not updates:
         raise ValueError("cannot aggregate an empty update list")
     if 2 * trim >= len(updates):
@@ -61,6 +92,23 @@ def norm_filtered_mean(
     the kind of aggregation MixNN's mixing does *not* commute with, because a
     mixed chimera's cross-layer norm differs from any original participant's.
     """
+    if not updates:
+        raise ValueError("cannot aggregate an empty update list")
+    batch = FlatUpdateBatch.from_updates(updates)
+    kept = batch.norms(reference) <= max_norm
+    if not kept.any():
+        raise ValueError("norm filter rejected every update")
+    return batch.schema.views(
+        flat_mean(list(batch.matrix[kept]), batch.schema).astype(np.float32, copy=False)
+    )
+
+
+def norm_filtered_mean_reference(
+    updates: list[ModelUpdate],
+    reference: dict,
+    max_norm: float,
+) -> "OrderedDict[str, np.ndarray]":
+    """Retained per-parameter implementation of :func:`norm_filtered_mean`."""
     if not updates:
         raise ValueError("cannot aggregate an empty update list")
     kept: list[ModelUpdate] = []

@@ -6,10 +6,18 @@ flow (Figure 2).  The server is the *adversary* in the paper's threat model
 and to replace the broadcast model (active ∇Sim).  The aggregation logic
 itself is honest in both cases — the paper's malicious server still wants the
 main task to converge.
+
+Memory model: the server keeps **no per-round history by default**.  Earlier
+versions retained every update of every round in ``received_log``, which
+grows without bound in long-running deployments; retention is now opt-in via
+``retain_received`` (``None`` = unlimited, ``n`` = a bounded ring of the last
+``n`` rounds, ``0`` = off).  Attacks and analyses that need history register
+a :class:`ServerObserver` instead and decide their own retention.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Protocol
 
 import numpy as np
@@ -39,13 +47,21 @@ class AggregationServer:
         initial_state: dict,
         sample_weighted: bool = False,
         broadcast_hook: Callable[[int, dict], dict] | None = None,
+        retain_received: int | None = 0,
     ) -> None:
         self.global_state = {k: np.asarray(v, dtype=np.float32).copy() for k, v in initial_state.items()}
         self.sample_weighted = sample_weighted
         self.broadcast_hook = broadcast_hook
         self.observers: list[ServerObserver] = []
         self.round_index = 0
-        self.received_log: list[list[ModelUpdate]] = []
+        if retain_received is not None and retain_received < 0:
+            raise ValueError(f"retain_received must be >= 0 or None, got {retain_received}")
+        self._retain_received = retain_received
+        #: rounds of received updates, newest last (empty unless opted in)
+        self.received_log: "deque[list[ModelUpdate]]" = deque(
+            maxlen=retain_received if retain_received is not None else None
+        )
+        self._last_broadcast: dict | None = None
 
     @classmethod
     def from_model(cls, model: Module, **kwargs) -> "AggregationServer":
@@ -62,12 +78,21 @@ class AggregationServer:
 
         A malicious server (active ∇Sim) substitutes a crafted model through
         ``broadcast_hook``; an honest server sends the current aggregate.
+
+        The returned dict is the live state — treat it as read-only (clients
+        copy on :meth:`~repro.nn.module.Module.load_state_dict`).  A pristine
+        per-parameter copy for observers is only taken when observers are
+        registered, so the hook-less, observer-less fast path broadcasts with
+        zero copies.
         """
         state = self.global_state
         if self.broadcast_hook is not None:
             state = self.broadcast_hook(self.round_index, state)
-        self._last_broadcast = {k: v.copy() for k, v in state.items()}
-        return self._last_broadcast
+        if self.observers:
+            self._last_broadcast = {k: np.asarray(v).copy() for k, v in state.items()}
+        else:
+            self._last_broadcast = state
+        return state
 
     def receive_and_aggregate(self, updates: list[ModelUpdate]) -> dict:
         """Aggregate received updates into the next global model (step ❸)."""
@@ -75,7 +100,8 @@ class AggregationServer:
             raise ValueError("no updates received this round")
         for observer in self.observers:
             observer.on_round(self.round_index, self._last_broadcast, updates)
-        self.received_log.append(updates)
+        if self._retain_received is None or self._retain_received > 0:
+            self.received_log.append(updates)
         self.global_state = aggregate_updates(updates, sample_weighted=self.sample_weighted)
         self.round_index += 1
         return self.global_state

@@ -56,6 +56,10 @@ class SimulationConfig:
     sample_weighted: bool = False
     track_per_client_accuracy: bool = True
     parallelism: int | None = 1
+    #: keep every round's received updates for post-hoc analysis (Figure 9,
+    #: mixing-quality extensions).  Disable for long/large runs where the
+    #: per-round history would grow without bound.
+    retain_received_updates: bool = True
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -125,6 +129,9 @@ class FederatedSimulation:
         # point-for-point (and exactly equal for MixNN vs classical FL).
         self._selection_rng = rng_from_seed(stable_seed(config.seed, "selection"))
         self._defense_rng = rng_from_seed(stable_seed(config.seed, "defense"))
+        # The simulation owns its received-update history (the server keeps
+        # none by default — see AggregationServer.retain_received).
+        self._received_log: list[list[ModelUpdate]] = []
 
         self.clients = [
             FederatedClient(data, model_fn, config.local, seed=config.seed)
@@ -203,6 +210,8 @@ class FederatedSimulation:
             updates, self._defense_rng, broadcast_state=broadcast_state
         )
         new_state = self.server.receive_and_aggregate(received)
+        if self.config.retain_received_updates:
+            self._received_log.append(received)
 
         record = RoundRecord(
             round_index=round_index,
@@ -224,6 +233,6 @@ class FederatedSimulation:
             rounds=records,
             final_state=self.server.global_state,
             defense_name=self.defense.name,
-            received_updates=self.server.received_log,
+            received_updates=self._received_log,
             attack=self.attack,
         )

@@ -6,6 +6,22 @@ by parameter name.  Parameter names are grouped into *layers* — the mixing
 unit of the MixNN proxy (a layer's weight and bias travel together, exactly as
 the paper mixes whole layers ``l_1 … l_n``).
 
+Flat parameter plane
+--------------------
+The round-critical algebra (aggregation, deltas, mixing, defenses, ∇Sim)
+runs on the **flat parameter plane**: a model state is one contiguous float32
+vector under a :class:`~repro.nn.serialization.StateSchema`, and a round's
+``N`` updates are one ``(N, D)`` matrix (:mod:`repro.federated.flat`).  The
+dict-of-arrays API remains the public surface, as cheap zero-copy views into
+the flat buffer.  An update whose state is backed by a flat buffer exposes it
+via ``flat_vector``; consumers that hold one skip all per-parameter
+re-marshalling.  The original per-parameter dict implementations are retained
+as ``*_reference`` and cross-checked bit-for-bit by the equivalence tests.
+
+Invariant: once an update is flat-backed, its ``state`` entries are views into
+``flat_vector`` — mutate parameters in place (``state[n][...] = x``) or build
+a new update (``with_state``/``copy``); never rebind ``state[n]`` wholesale.
+
 Identity model
 --------------
 ``sender_id`` is the participant that produced the update.  ``apparent_id``
@@ -24,9 +40,18 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..nn.serialization import flatten
+from ..nn.serialization import flatten, schema_of
 
-__all__ = ["ModelUpdate", "layer_groups", "aggregate_states", "aggregate_updates", "state_delta"]
+__all__ = [
+    "ModelUpdate",
+    "layer_groups",
+    "aggregate_states",
+    "aggregate_states_reference",
+    "aggregate_updates",
+    "aggregate_updates_reference",
+    "state_delta",
+    "state_delta_reference",
+]
 
 
 def layer_groups(names: list[str] | tuple[str, ...]) -> "OrderedDict[str, list[str]]":
@@ -35,12 +60,23 @@ def layer_groups(names: list[str] | tuple[str, ...]) -> "OrderedDict[str, list[s
     ``"layer0.weight"`` and ``"layer0.bias"`` share the layer key
     ``"layer0"``; a bare name (no dot) forms its own group.  Order follows
     first appearance, i.e. network depth for sequentially built models.
+
+    Results are memoized per name tuple (every update of a model shares one
+    grouping); treat the returned mapping as read-only.
     """
-    groups: "OrderedDict[str, list[str]]" = OrderedDict()
-    for name in names:
-        key = name.rsplit(".", 1)[0] if "." in name else name
-        groups.setdefault(key, []).append(name)
+    key = tuple(names)
+    groups = _LAYER_GROUPS_CACHE.get(key)
+    if groups is None:
+        groups = OrderedDict()
+        for name in key:
+            group_key = name.rsplit(".", 1)[0] if "." in name else name
+            groups.setdefault(group_key, []).append(name)
+        _LAYER_GROUPS_CACHE[key] = groups
     return groups
+
+
+#: memo: names tuple -> layer grouping (shared across all same-schema updates)
+_LAYER_GROUPS_CACHE: dict[tuple[str, ...], "OrderedDict[str, list[str]]"] = {}
 
 
 @dataclass
@@ -53,6 +89,9 @@ class ModelUpdate:
     num_samples: int = 1
     apparent_id: int | None = None
     metadata: dict = field(default_factory=dict)
+    #: contiguous float32 buffer backing ``state`` (flat-plane fast path);
+    #: ``None`` until the update is materialized on the flat plane.
+    flat_vector: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.apparent_id is None:
@@ -67,11 +106,31 @@ class ModelUpdate:
 
     @property
     def layers(self) -> "OrderedDict[str, list[str]]":
-        return layer_groups(list(self.state.keys()))
+        return layer_groups(tuple(self.state.keys()))
 
     def flat(self) -> np.ndarray:
-        """Concatenated float32 vector of all parameters."""
+        """Concatenated float32 vector of all parameters.
+
+        Flat-backed updates return the backing buffer itself (treat it as
+        read-only); others pay one concatenation.
+        """
+        if self.flat_vector is not None:
+            return self.flat_vector
         return flatten(self.state)
+
+    def ensure_flat(self) -> np.ndarray:
+        """Materialize this update on the flat plane and return the buffer.
+
+        After this call ``state`` holds zero-copy views into ``flat_vector``,
+        so every flat-plane consumer (aggregation, mixing, defenses, attacks,
+        transport) shares the single allocation.
+        """
+        if self.flat_vector is None:
+            schema = schema_of(self.state)
+            vector = schema.pack(self.state)
+            self.flat_vector = vector
+            self.state = schema.views(vector)
+        return self.flat_vector
 
     def layer_state(self, layer: str) -> "OrderedDict[str, np.ndarray]":
         """The sub-state belonging to one layer group."""
@@ -92,10 +151,14 @@ class ModelUpdate:
         return state_delta(self.state, reference)
 
     def copy(self) -> "ModelUpdate":
-        return replace(self, state=OrderedDict((k, v.copy()) for k, v in self.state.items()))
+        return replace(
+            self,
+            state=OrderedDict((k, v.copy()) for k, v in self.state.items()),
+            flat_vector=None,
+        )
 
     def with_state(self, state: "OrderedDict[str, np.ndarray]") -> "ModelUpdate":
-        return replace(self, state=state)
+        return replace(self, state=state, flat_vector=None)
 
     def __repr__(self) -> str:
         return (
@@ -105,7 +168,28 @@ class ModelUpdate:
 
 
 def state_delta(state: dict, reference: dict) -> "OrderedDict[str, np.ndarray]":
-    """Per-parameter difference ``state − reference``."""
+    """Per-parameter difference ``state − reference``.
+
+    Computed as one vectorized subtract into a single flat buffer; the
+    returned per-parameter arrays are views into it (bit-identical to
+    :func:`state_delta_reference`).
+    """
+    if set(state) != set(reference):
+        raise KeyError("state and reference have different parameter sets")
+    schema = schema_of(state)
+    vector = np.empty(schema.total_size, dtype=np.float32)
+    out = schema.views(vector)
+    for name, view in out.items():
+        np.subtract(
+            np.asarray(state[name], dtype=np.float32),
+            np.asarray(reference[name], dtype=np.float32),
+            out=view,
+        )
+    return out
+
+
+def state_delta_reference(state: dict, reference: dict) -> "OrderedDict[str, np.ndarray]":
+    """Retained per-parameter implementation of :func:`state_delta`."""
     if set(state) != set(reference):
         raise KeyError("state and reference have different parameter sets")
     return OrderedDict(
@@ -118,8 +202,33 @@ def aggregate_states(states: list[dict], weights: list[float] | None = None) -> 
     """Weighted mean of parameter states (FedAvg's column-mean ``Agr``, §4.2).
 
     With ``weights=None`` this is the plain mean the utility-equivalence proof
-    assumes.
+    assumes.  Runs on the flat plane — one ``(N, D)`` matrix, one reduction —
+    and is bit-identical to :func:`aggregate_states_reference`.
     """
+    if not states:
+        raise ValueError("cannot aggregate an empty state list")
+    if weights is not None:
+        if len(weights) != len(states):
+            raise ValueError(f"{len(weights)} weights for {len(states)} states")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+    from .flat import flat_mean
+
+    schema = schema_of(states[0])
+    for other in states[1:]:
+        if tuple(other.keys()) != schema.names:
+            raise KeyError("all states must share the same parameter schema")
+        if not schema.matches(other):
+            raise ValueError("all states must share the same parameter shapes")
+    rows = [schema.pack(state) for state in states]
+    return schema.views(flat_mean(rows, schema, weights))
+
+
+def aggregate_states_reference(
+    states: list[dict], weights: list[float] | None = None
+) -> "OrderedDict[str, np.ndarray]":
+    """Retained per-parameter implementation of :func:`aggregate_states`."""
     if not states:
         raise ValueError("cannot aggregate an empty state list")
     names = list(states[0].keys())
@@ -146,5 +255,24 @@ def aggregate_updates(
     sample_weighted: bool = False,
 ) -> "OrderedDict[str, np.ndarray]":
     """Aggregate updates; plain mean by default (paper §4.2)."""
+    if not updates:
+        raise ValueError("cannot aggregate an empty update list")
     weights = [float(u.num_samples) for u in updates] if sample_weighted else None
-    return aggregate_states([u.state for u in updates], weights)
+    if weights is not None:
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+    from .flat import flat_mean, flat_rows
+
+    schema = schema_of(updates[0].state)
+    rows = flat_rows(updates, schema)
+    return schema.views(flat_mean(rows, schema, weights))
+
+
+def aggregate_updates_reference(
+    updates: list[ModelUpdate],
+    sample_weighted: bool = False,
+) -> "OrderedDict[str, np.ndarray]":
+    """Retained per-parameter implementation of :func:`aggregate_updates`."""
+    weights = [float(u.num_samples) for u in updates] if sample_weighted else None
+    return aggregate_states_reference([u.state for u in updates], weights)

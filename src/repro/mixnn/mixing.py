@@ -19,9 +19,16 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..federated.flat import FlatUpdateBatch, unit_columns
 from ..federated.update import ModelUpdate, layer_groups
 
-__all__ = ["mixing_matrix", "is_valid_mixing_matrix", "mix_updates", "Granularity"]
+__all__ = [
+    "mixing_matrix",
+    "is_valid_mixing_matrix",
+    "mix_updates",
+    "mix_updates_reference",
+    "Granularity",
+]
 
 #: Supported mixing granularities.
 Granularity = ("model", "layer", "parameter")
@@ -73,7 +80,62 @@ def mix_updates(
     Emitted update ``i`` keeps the *apparent identity* of input update ``i``
     (the slot the server observes) while its layers come from the
     participants selected by the mixing matrix.
+
+    Runs on the flat parameter plane: the batch is one ``(C, D)`` matrix and
+    each mixing unit is a column-slice gather, instead of per-update
+    per-parameter dict copies.  Bit-identical (values, identities, sources,
+    RNG stream) to :func:`mix_updates_reference`.
     """
+    if not updates:
+        raise ValueError("cannot mix an empty update batch")
+    schema_names = updates[0].parameter_names
+    for update in updates[1:]:
+        if update.parameter_names != schema_names:
+            raise KeyError("all updates must share the same parameter schema")
+    units = _mixing_units(updates[0], granularity)
+    if matrix is None:
+        matrix = mixing_matrix(len(updates), len(units), rng)
+    elif not is_valid_mixing_matrix(matrix, len(updates)):
+        raise ValueError("provided mixing matrix is not a per-column permutation")
+    if matrix.shape != (len(updates), len(units)):
+        raise ValueError(f"matrix shape {matrix.shape} != {(len(updates), len(units))}")
+
+    from ..nn.serialization import schema_of
+
+    schema = schema_of(updates[0].state)
+    columns = unit_columns(schema, units)
+    matrix = np.asarray(matrix)
+    mixed_matrix = FlatUpdateBatch.gather_mixed(updates, matrix, columns, schema=schema)
+    sender_ids = [u.sender_id for u in updates]
+
+    mixed: list[ModelUpdate] = []
+    for i, slot in enumerate(updates):
+        row = mixed_matrix[i]
+        mixed.append(
+            ModelUpdate(
+                sender_id=-1,  # the server cannot name a true sender
+                apparent_id=slot.sender_id,
+                round_index=slot.round_index,
+                state=schema.views(row),
+                num_samples=slot.num_samples,
+                metadata={
+                    "mixed": True,
+                    "granularity": granularity,
+                    "unit_sources": [sender_ids[int(s)] for s in matrix[i]],
+                },
+                flat_vector=row,
+            )
+        )
+    return mixed
+
+
+def mix_updates_reference(
+    updates: list[ModelUpdate],
+    rng: np.random.Generator,
+    granularity: str = "layer",
+    matrix: np.ndarray | None = None,
+) -> list[ModelUpdate]:
+    """Retained per-parameter implementation of :func:`mix_updates`."""
     if not updates:
         raise ValueError("cannot mix an empty update batch")
     schema = updates[0].parameter_names

@@ -31,11 +31,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..federated.update import ModelUpdate, layer_groups
+from ..federated.update import ModelUpdate
+from ..nn.serialization import schema_of
 from .enclave import SGXEnclaveSim
 from .mixing import _mixing_units
 from .oram import ObliviousList
-from .transport import EncryptedUpdate, pack_update, unpack_update, update_nbytes
+from .transport import EncryptedUpdate, pack_update, unpack_update
 
 __all__ = ["MixNNProxy", "ProxyStats"]
 
@@ -74,6 +75,10 @@ class MixNNProxy:
         # Lazily keyed off the first update's schema.
         self._units: list[tuple[str, ...]] | None = None
         self._schema: tuple[str, ...] | None = None
+        # Flat-plane contract of the configured model; set with the schema.
+        self._state_schema = None
+        # Raw float32 footprint of one update (constant per schema).
+        self._update_nbytes = 0
         # For each schema name, (unit index, index within the unit) — lets
         # _compose assemble an emitted state in schema order in one pass.
         self._compose_index: list[tuple[int, int]] = []
@@ -98,6 +103,8 @@ class MixNNProxy:
     def _ensure_schema(self, update: ModelUpdate) -> None:
         if self._schema is None:
             self._schema = update.parameter_names
+            self._state_schema = schema_of(update.state)
+            self._update_nbytes = 4 * self._state_schema.total_size
             self._units = [tuple(u) for u in _mixing_units(update, self.granularity)]
             position = {
                 name: (unit_index, member_index)
@@ -139,8 +146,8 @@ class MixNNProxy:
             metadata={"mixed": True, "granularity": self.granularity, "unit_sources": sources},
         )
         self.stats.emitted += 1
-        self.stats.bytes_out += update_nbytes(emitted)
-        self.enclave.free(update_nbytes(emitted))
+        self.stats.bytes_out += self._update_nbytes
+        self.enclave.free(self._update_nbytes)
         return emitted
 
     # ------------------------------------------------------------------
@@ -159,10 +166,10 @@ class MixNNProxy:
     def _ingest(self, plaintext: bytes, ciphertext_len: int) -> ModelUpdate | None:
         """Parse one decrypted message and run the §4.3 store/emit step."""
         update = unpack_update(plaintext)
+        self._ensure_schema(update)
         # Re-account: the serialized blob is replaced by the parsed arrays.
         self.enclave.free(len(plaintext))
-        self.enclave.allocate(update_nbytes(update))
-        self._ensure_schema(update)
+        self.enclave.allocate(self._update_nbytes)
         self._round_index = update.round_index
         self.stats.received += 1
         self.stats.bytes_in += ciphertext_len

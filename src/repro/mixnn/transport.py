@@ -5,7 +5,10 @@ from the contiguous float32 parameter buffers — no intermediate archive
 encode), prepend an envelope (sender slot, round), and encrypt the whole
 message to the enclave's public key (§4.1).  The proxy decrypts inside the
 enclave and re-materializes a :class:`~repro.federated.update.ModelUpdate`
-whose arrays are zero-copy read-only views onto the decrypted plaintext.
+on the flat parameter plane: one zero-copy read-only float32 vector over the
+decrypted payload, with the per-parameter dict as schema views onto it — so
+transport, crypto, and every downstream consumer (mixing, aggregation,
+attacks) share a single allocation.
 """
 
 from __future__ import annotations
@@ -14,7 +17,7 @@ import json
 from dataclasses import dataclass
 
 from ..federated.update import ModelUpdate
-from ..nn.serialization import state_from_bytes, state_to_bytes
+from ..nn.serialization import flat_from_bytes, flat_to_bytes, schema_of, state_to_bytes
 from .crypto import PublicKey, encrypt
 
 __all__ = ["EncryptedUpdate", "pack_update", "unpack_update", "update_nbytes"]
@@ -48,8 +51,17 @@ def _envelope(update: ModelUpdate) -> bytes:
 
 
 def pack_update(update: ModelUpdate, public_key: PublicKey) -> EncryptedUpdate:
-    """Serialize and encrypt one update for the enclave."""
-    plaintext = _envelope(update) + state_to_bytes(update.state)
+    """Serialize and encrypt one update for the enclave.
+
+    A flat-backed update is framed straight from its contiguous buffer
+    (byte-identical to the dict path, one memoryview instead of one per
+    parameter).
+    """
+    if update.flat_vector is not None:
+        body = flat_to_bytes(schema_of(update.state), update.flat_vector)
+    else:
+        body = state_to_bytes(update.state)
+    plaintext = _envelope(update) + body
     return EncryptedUpdate(
         ciphertext=encrypt(public_key, plaintext),
         transport_id=update.sender_id,
@@ -57,15 +69,21 @@ def pack_update(update: ModelUpdate, public_key: PublicKey) -> EncryptedUpdate:
 
 
 def unpack_update(plaintext: bytes) -> ModelUpdate:
-    """Re-materialize an update from a decrypted message."""
+    """Re-materialize an update from a decrypted message.
+
+    The returned update lives on the flat parameter plane: ``flat_vector``
+    is a single zero-copy read-only view over the payload and the state dict
+    is schema views onto it.
+    """
     header_len = int.from_bytes(plaintext[:_HEADER_LEN_BYTES], "big")
     header = json.loads(plaintext[_HEADER_LEN_BYTES : _HEADER_LEN_BYTES + header_len].decode())
-    state = state_from_bytes(plaintext[_HEADER_LEN_BYTES + header_len :])
+    schema, vector = flat_from_bytes(plaintext[_HEADER_LEN_BYTES + header_len :])
     return ModelUpdate(
         sender_id=int(header["sender_id"]),
         round_index=int(header["round_index"]),
         num_samples=int(header["num_samples"]),
-        state=state,
+        state=schema.views(vector),
+        flat_vector=vector,
     )
 
 

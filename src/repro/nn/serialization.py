@@ -8,11 +8,20 @@ Two representations are used throughout the reproduction:
   similarity on and that the wire format transports.
 
 ``flatten``/``unflatten`` convert losslessly between the two given a
-:class:`StateSpec` captured from a model.
+:class:`StateSpec` captured from a model.  :class:`StateSchema` extends the
+spec with the *flat-plane contract*: every parameter name maps to a fixed
+``(offset, shape, dtype=float32)`` slot in one contiguous vector, so a state
+dict can be materialized as zero-copy views onto that vector and a round's
+updates can live in one ``(N, D)`` matrix (see
+:mod:`repro.federated.flat`).
 
 The byte encoding (:func:`state_to_bytes`) is a raw framed format: a JSON
 schema header followed by the parameters' contiguous float32 buffers, written
-and read without any intermediate archive encode.  :func:`state_from_bytes`
+and read without any intermediate archive encode.  Because the buffers are
+laid out back to back in schema order, the payload of a raw-framed blob *is*
+the flat vector — :func:`flat_from_bytes` reads it as one zero-copy float32
+view and :func:`flat_to_bytes` writes it from one, which lets transport,
+crypto, and aggregation share a single allocation.  :func:`state_from_bytes`
 also still reads the legacy ``.npz`` encoding (sniffed by magic), so blobs
 and files produced by earlier versions keep loading.
 """
@@ -30,11 +39,15 @@ from .module import Module
 
 __all__ = [
     "StateSpec",
+    "StateSchema",
     "spec_of",
+    "schema_of",
     "flatten",
     "unflatten",
     "state_to_bytes",
     "state_from_bytes",
+    "flat_to_bytes",
+    "flat_from_bytes",
     "save_state",
     "load_state",
 ]
@@ -73,6 +86,122 @@ def spec_of(source: Module | dict) -> StateSpec:
     return StateSpec(
         names=tuple(state.keys()),
         shapes=tuple(tuple(np.asarray(v).shape) for v in state.values()),
+    )
+
+
+class StateSchema:
+    """The flat parameter plane's contract for one model architecture.
+
+    Maps every parameter name to a fixed ``(offset, shape, dtype=float32)``
+    slot inside one contiguous float32 vector of ``total_size`` scalars.  All
+    flat-plane consumers (aggregation, mixing, defenses, attacks, transport)
+    speak this schema instead of re-marshalling their own dict-of-arrays
+    representation.
+
+    Instances are interned per ``(names, shapes)`` via :func:`schema_of`, so
+    schema identity checks are cheap pointer comparisons in the hot paths.
+    """
+
+    __slots__ = ("names", "shapes", "sizes", "offsets", "total_size", "_index")
+
+    #: the one dtype of the flat plane (the wire format's dtype as well)
+    dtype = np.float32
+
+    def __init__(self, names: tuple[str, ...], shapes: tuple[tuple[int, ...], ...]) -> None:
+        if len(names) != len(shapes):
+            raise ValueError(f"{len(names)} names for {len(shapes)} shapes")
+        self.names = tuple(names)
+        self.shapes = tuple(tuple(int(d) for d in shape) for shape in shapes)
+        self.sizes = tuple(int(np.prod(shape)) for shape in self.shapes)
+        offsets = []
+        offset = 0
+        for size in self.sizes:
+            offsets.append(offset)
+            offset += size
+        self.offsets = tuple(offsets)
+        self.total_size = offset
+        #: name -> (offset, size, shape)
+        self._index = {
+            name: (off, size, shape)
+            for name, off, size, shape in zip(self.names, self.offsets, self.sizes, self.shapes)
+        }
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, StateSchema):
+            return NotImplemented
+        return self.names == other.names and self.shapes == other.shapes
+
+    def __hash__(self) -> int:
+        return hash((self.names, self.shapes))
+
+    def __repr__(self) -> str:
+        return f"StateSchema(params={len(self.names)}, total_size={self.total_size})"
+
+    def matches(self, state: dict) -> bool:
+        """Whether ``state`` has exactly this schema (names, order, shapes)."""
+        if tuple(state.keys()) != self.names:
+            return False
+        return all(
+            tuple(np.asarray(state[n]).shape) == s for n, s in zip(self.names, self.shapes)
+        )
+
+    def span(self, name: str) -> tuple[int, int]:
+        """``(offset, end)`` of one parameter inside the flat vector."""
+        offset, size, _ = self._index[name]
+        return offset, offset + size
+
+    # ------------------------------------------------------------------
+    # Flat <-> dict
+    # ------------------------------------------------------------------
+    def views(self, vector: np.ndarray) -> "OrderedDict[str, np.ndarray]":
+        """Zero-copy dict-of-arrays view onto a flat vector.
+
+        The returned arrays share memory with ``vector``: in-place writes are
+        visible on both sides, and the views are read-only iff ``vector`` is.
+        """
+        if vector.size != self.total_size:
+            raise ValueError(f"vector has {vector.size} scalars, schema expects {self.total_size}")
+        out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, offset, size, shape in zip(self.names, self.offsets, self.sizes, self.shapes):
+            out[name] = vector[offset : offset + size].reshape(shape)
+        return out
+
+    def write_into(self, row: np.ndarray, state: dict) -> None:
+        """Copy a dict state into a flat row (by name, casting to float32)."""
+        for name, offset, size, _ in zip(self.names, self.offsets, self.sizes, self.shapes):
+            row[offset : offset + size] = np.asarray(state[name], dtype=np.float32).ravel()
+
+    def pack(self, state: dict) -> np.ndarray:
+        """Materialize a dict state as a fresh contiguous flat vector."""
+        vector = np.empty(self.total_size, dtype=np.float32)
+        self.write_into(vector, state)
+        return vector
+
+
+#: interning table: (names, shapes) -> StateSchema
+_SCHEMA_CACHE: dict[tuple, StateSchema] = {}
+
+
+def _intern_schema(names: tuple[str, ...], shapes: tuple[tuple[int, ...], ...]) -> StateSchema:
+    """One shared StateSchema instance per (names, shapes)."""
+    key = (names, shapes)
+    schema = _SCHEMA_CACHE.get(key)
+    if schema is None:
+        schema = _SCHEMA_CACHE[key] = StateSchema(names, shapes)
+    return schema
+
+
+def schema_of(source: Module | dict) -> StateSchema:
+    """The interned :class:`StateSchema` of a model or state dict."""
+    state = source.state_dict() if isinstance(source, Module) else source
+    return _intern_schema(
+        tuple(state.keys()),
+        tuple(tuple(np.asarray(v).shape) for v in state.values()),
     )
 
 
@@ -147,6 +276,54 @@ def state_from_bytes(blob: bytes) -> "OrderedDict[str, np.ndarray]":
     if offset != len(blob):
         raise ValueError(f"state blob has {len(blob) - offset} trailing bytes")
     return out
+
+
+def flat_to_bytes(schema: StateSchema, vector: np.ndarray) -> bytes:
+    """Serialize a flat vector under ``schema`` to the raw-framed encoding.
+
+    Produces byte-for-byte the same blob as ``state_to_bytes(schema.views(
+    vector))`` — the RW01 payload *is* the flat buffer — but appends it as a
+    single memoryview instead of one per parameter.
+    """
+    vector = np.asarray(vector, dtype=np.float32)
+    if vector.size != schema.total_size:
+        raise ValueError(f"vector has {vector.size} scalars, schema expects {schema.total_size}")
+    if not vector.flags.c_contiguous:
+        vector = np.ascontiguousarray(vector)
+    header = json.dumps(
+        {"names": list(schema.names), "shapes": [list(s) for s in schema.shapes]},
+        separators=(",", ":"),
+    ).encode()
+    return b"".join(
+        [_RAW_MAGIC, len(header).to_bytes(4, "big"), header, memoryview(vector.reshape(-1)).cast("B")]
+    )
+
+
+def flat_from_bytes(blob: bytes) -> tuple[StateSchema, np.ndarray]:
+    """Read a state blob as ``(schema, flat_vector)`` in one allocation-free step.
+
+    Raw-framed blobs yield a single zero-copy read-only float32 view covering
+    the whole payload (the per-parameter dict view is ``schema.views(vector)``
+    when needed).  Legacy ``.npz`` blobs are loaded through numpy and packed.
+    """
+    if blob[:4] == _ZIP_MAGIC:
+        state = state_from_bytes(blob)
+        schema = schema_of(state)
+        return schema, schema.pack(state)
+    if blob[:4] != _RAW_MAGIC:
+        raise ValueError("unrecognized state encoding (neither raw-framed nor .npz)")
+    header_len = int.from_bytes(blob[4:8], "big")
+    header = json.loads(blob[8 : 8 + header_len].decode())
+    schema = _intern_schema(
+        tuple(header["names"]),
+        tuple(tuple(int(d) for d in shape) for shape in header["shapes"]),
+    )
+    offset = 8 + header_len
+    expected = offset + 4 * schema.total_size
+    if expected != len(blob):
+        raise ValueError(f"state blob has {len(blob) - expected} trailing bytes")
+    vector = np.frombuffer(blob, dtype=np.float32, count=schema.total_size, offset=offset)
+    return schema, vector
 
 
 def save_state(state: dict, path) -> None:

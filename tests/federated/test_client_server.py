@@ -120,11 +120,26 @@ class TestAggregationServer:
             for i, v in enumerate(values)
         ]
 
-    def test_broadcast_returns_copy(self):
+    def test_broadcast_is_zero_copy_without_observers(self):
+        """The hook-less, observer-less fast path broadcasts the live state."""
         server = AggregationServer({"w": np.zeros(3, dtype=np.float32)})
         broadcast = server.broadcast()
-        broadcast["w"][:] = 9.0
-        assert server.global_state["w"].sum() == 0.0
+        assert broadcast["w"] is server.global_state["w"]
+
+    def test_observers_get_pristine_broadcast_copy(self):
+        """With observers, downstream mutation cannot corrupt what they see."""
+        seen = {}
+
+        class Spy:
+            def on_round(self, round_index, broadcast_state, updates):
+                seen["w"] = broadcast_state["w"].copy()
+
+        server = AggregationServer({"w": np.zeros(3, dtype=np.float32)})
+        server.add_observer(Spy())
+        broadcast = server.broadcast()
+        broadcast["w"][:] = 9.0  # a rogue consumer scribbles on the live state
+        server.receive_and_aggregate(self._updates([1.0]))
+        np.testing.assert_allclose(seen["w"], 0.0)
 
     def test_aggregate_mean(self):
         server = AggregationServer({"w": np.zeros(3, dtype=np.float32)})
@@ -159,12 +174,33 @@ class TestAggregationServer:
         )
         np.testing.assert_allclose(server.broadcast()["w"], 7.0)
 
-    def test_received_log_accumulates(self):
+    def test_received_log_is_off_by_default(self):
+        """No unbounded history: retention is opt-in."""
         server = AggregationServer({"w": np.zeros(3, dtype=np.float32)})
         for _ in range(3):
             server.broadcast()
             server.receive_and_aggregate(self._updates([1.0]))
+        assert len(server.received_log) == 0
+
+    def test_received_log_unlimited_when_opted_in(self):
+        server = AggregationServer({"w": np.zeros(3, dtype=np.float32)}, retain_received=None)
+        for _ in range(3):
+            server.broadcast()
+            server.receive_and_aggregate(self._updates([1.0]))
         assert len(server.received_log) == 3
+
+    def test_received_log_bounded_retention(self):
+        server = AggregationServer({"w": np.zeros(3, dtype=np.float32)}, retain_received=2)
+        for value in (1.0, 2.0, 3.0):
+            server.broadcast()
+            server.receive_and_aggregate(self._updates([value]))
+        assert len(server.received_log) == 2
+        # the ring keeps the newest rounds
+        np.testing.assert_allclose(server.received_log[-1][0].state["w"], 3.0)
+
+    def test_negative_retention_rejected(self):
+        with pytest.raises(ValueError):
+            AggregationServer({"w": np.zeros(3, dtype=np.float32)}, retain_received=-1)
 
     def test_from_model(self, small_model):
         server = AggregationServer.from_model(small_model)

@@ -1,0 +1,448 @@
+"""Flat parameter plane: property-style equivalence against the references.
+
+Every flat-plane path must be *bit-identical* (``np.array_equal``, no
+tolerances) to the retained dict-based reference implementation it replaced,
+across randomized schemas (parameter counts, shapes, scalar params, bare
+names) and client counts — this is the contract that makes the flat plane a
+drop-in data plane rather than an approximation.
+"""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.attacks.background import reference_delta_matrix, reference_deltas
+from repro.attacks.gradsim import score_updates, score_updates_reference
+from repro.federated.aggregation import (
+    coordinate_median,
+    coordinate_median_reference,
+    norm_filtered_mean,
+    norm_filtered_mean_reference,
+    trimmed_mean,
+    trimmed_mean_reference,
+)
+from repro.federated.flat import FlatState, FlatUpdateBatch, row_norms, unit_columns
+from repro.federated.update import (
+    ModelUpdate,
+    aggregate_states,
+    aggregate_states_reference,
+    aggregate_updates,
+    aggregate_updates_reference,
+    state_delta,
+    state_delta_reference,
+)
+from repro.mixnn.mixing import mix_updates, mix_updates_reference, mixing_matrix
+from repro.nn.serialization import schema_of
+from repro.utils.rng import rng_from_seed
+
+
+def random_schema_state(rng: np.random.Generator, scale: float = 1.0) -> "OrderedDict[str, np.ndarray]":
+    """One random state under a random (but rng-reproducible) schema.
+
+    Mixes multi-layer dotted names, a bare (layer-less) name, a scalar
+    parameter, and varied tensor ranks — the shapes the flat plane must
+    round-trip exactly.
+    """
+    state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    num_layers = int(rng.integers(1, 5))
+    for layer in range(num_layers):
+        fan_in = int(rng.integers(1, 7))
+        fan_out = int(rng.integers(1, 7))
+        state[f"layer{layer}.weight"] = (
+            scale * rng.standard_normal((fan_out, fan_in))
+        ).astype(np.float32)
+        if rng.random() < 0.8:
+            state[f"layer{layer}.bias"] = (scale * rng.standard_normal(fan_out)).astype(np.float32)
+    if rng.random() < 0.5:
+        state["embedding"] = (scale * rng.standard_normal((3, 2, 2))).astype(np.float32)
+    if rng.random() < 0.5:
+        state["temperature"] = np.float32(scale * rng.standard_normal()) * np.ones(
+            (), dtype=np.float32
+        )
+    return state
+
+
+def states_like(template: dict, rng: np.random.Generator, count: int) -> list[dict]:
+    return [
+        OrderedDict(
+            (name, (value + 0.1 * rng.standard_normal(value.shape)).astype(np.float32))
+            for name, value in template.items()
+        )
+        for _ in range(count)
+    ]
+
+
+def updates_from(states: list[dict], rng: np.random.Generator) -> list[ModelUpdate]:
+    return [
+        ModelUpdate(
+            sender_id=i,
+            round_index=0,
+            state=state,
+            num_samples=int(rng.integers(1, 50)),
+        )
+        for i, state in enumerate(states)
+    ]
+
+
+def flat_of(state: dict) -> np.ndarray:
+    return np.concatenate([np.asarray(v, dtype=np.float32).ravel() for v in state.values()])
+
+
+def assert_states_identical(a: dict, b: dict) -> None:
+    assert list(a.keys()) == list(b.keys())
+    for name in a:
+        assert np.asarray(a[name]).shape == np.asarray(b[name]).shape
+        np.testing.assert_array_equal(np.asarray(a[name]), np.asarray(b[name]), strict=False)
+
+
+SEEDS = [0, 1, 2, 3, 4]
+COUNTS = [1, 2, 3, 5, 16, 64]
+
+
+class TestAggregationEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("count", COUNTS)
+    def test_plain_mean_bit_identical(self, seed, count):
+        rng = rng_from_seed(seed)
+        states = states_like(random_schema_state(rng), rng, count)
+        assert_states_identical(aggregate_states(states), aggregate_states_reference(states))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_weighted_mean_bit_identical(self, seed):
+        rng = rng_from_seed(seed)
+        states = states_like(random_schema_state(rng), rng, 6)
+        weights = [float(w) for w in rng.uniform(0.1, 5.0, size=6)]
+        assert_states_identical(
+            aggregate_states(states, weights), aggregate_states_reference(states, weights)
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sample_weighted_updates_bit_identical(self, seed):
+        rng = rng_from_seed(seed)
+        updates = updates_from(states_like(random_schema_state(rng), rng, 5), rng)
+        assert_states_identical(
+            aggregate_updates(updates, sample_weighted=True),
+            aggregate_updates_reference(updates, sample_weighted=True),
+        )
+
+    def test_validation_matches_reference(self):
+        rng = rng_from_seed(9)
+        states = states_like(random_schema_state(rng), rng, 3)
+        with pytest.raises(ValueError):
+            aggregate_states([])
+        broken = OrderedDict(states[1])
+        broken.pop(list(broken)[-1])
+        with pytest.raises(KeyError):
+            aggregate_states([states[0], broken])
+        with pytest.raises(ValueError):
+            aggregate_states(states, weights=[1.0])
+        with pytest.raises(ValueError):
+            aggregate_states(states, weights=[0.0, 0.0, 0.0])
+
+
+class TestRobustRulesEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("count", [1, 3, 5, 16, 64])
+    def test_coordinate_median_bit_identical(self, seed, count):
+        rng = rng_from_seed(seed)
+        updates = updates_from(states_like(random_schema_state(rng), rng, count), rng)
+        assert_states_identical(coordinate_median(updates), coordinate_median_reference(updates))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("count,trim", [(3, 1), (5, 1), (16, 3), (64, 8)])
+    def test_trimmed_mean_bit_identical(self, seed, count, trim):
+        rng = rng_from_seed(seed)
+        updates = updates_from(states_like(random_schema_state(rng), rng, count), rng)
+        assert_states_identical(
+            trimmed_mean(updates, trim=trim), trimmed_mean_reference(updates, trim=trim)
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("count", [8, 40])
+    def test_norm_filtered_mean_bit_identical(self, seed, count):
+        rng = rng_from_seed(seed)
+        template = random_schema_state(rng)
+        updates = updates_from(states_like(template, rng, count), rng)
+        # Inflate some rows so the filter genuinely partitions the cohort.
+        for update in updates[::3]:
+            for name in update.state:
+                update.state[name] = update.state[name] + 25.0
+        reference = template
+        norms = row_norms(
+            FlatUpdateBatch.from_updates(updates).deltas(reference),
+            schema_of(reference),
+        )
+        bound = float(np.median(norms))  # keeps the honest half
+        assert_states_identical(
+            norm_filtered_mean(updates, reference, bound),
+            norm_filtered_mean_reference(updates, reference, bound),
+        )
+
+    def test_norm_filter_rejecting_all_raises(self):
+        rng = rng_from_seed(11)
+        template = random_schema_state(rng)
+        updates = updates_from(states_like(template, rng, 3), rng)
+        with pytest.raises(ValueError, match="rejected"):
+            norm_filtered_mean(updates, template, max_norm=0.0)
+
+
+class TestDeltaEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_state_delta_bit_identical(self, seed):
+        rng = rng_from_seed(seed)
+        template = random_schema_state(rng)
+        state = states_like(template, rng, 1)[0]
+        assert_states_identical(
+            state_delta(state, template), state_delta_reference(state, template)
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("count", [2, 7])
+    def test_batch_deltas_bit_identical(self, seed, count):
+        rng = rng_from_seed(seed)
+        template = random_schema_state(rng)
+        updates = updates_from(states_like(template, rng, count), rng)
+        batch = FlatUpdateBatch.from_updates(updates)
+        deltas = batch.deltas(template)
+        for i, update in enumerate(updates):
+            np.testing.assert_array_equal(
+                deltas[i], flat_of(state_delta_reference(update.state, template))
+            )
+
+    def test_mismatched_schema_rejected(self):
+        rng = rng_from_seed(12)
+        template = random_schema_state(rng)
+        with pytest.raises(KeyError):
+            state_delta(template, {"other": np.zeros(1, dtype=np.float32)})
+
+
+class TestMixingEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("count", [1, 2, 5, 16])
+    @pytest.mark.parametrize("granularity", ["model", "layer", "parameter"])
+    def test_mix_bit_identical(self, seed, count, granularity):
+        rng = rng_from_seed(seed)
+        template = random_schema_state(rng)
+        updates = updates_from(states_like(template, rng, count), rng)
+        flat = mix_updates(
+            [u.copy() for u in updates], rng_from_seed(seed + 100), granularity=granularity
+        )
+        reference = mix_updates_reference(
+            [u.copy() for u in updates], rng_from_seed(seed + 100), granularity=granularity
+        )
+        assert len(flat) == len(reference)
+        for f, r in zip(flat, reference):
+            assert f.sender_id == r.sender_id
+            assert f.apparent_id == r.apparent_id
+            assert f.round_index == r.round_index
+            assert f.num_samples == r.num_samples
+            assert f.metadata["unit_sources"] == r.metadata["unit_sources"]
+            assert f.metadata["granularity"] == r.metadata["granularity"]
+            assert_states_identical(f.state, r.state)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mix_with_explicit_matrix_bit_identical(self, seed):
+        rng = rng_from_seed(seed)
+        template = random_schema_state(rng)
+        updates = updates_from(states_like(template, rng, 4), rng)
+        units = len(updates[0].layers)
+        matrix = mixing_matrix(4, units, rng_from_seed(seed + 1))
+        flat = mix_updates([u.copy() for u in updates], rng_from_seed(0), matrix=matrix)
+        reference = mix_updates_reference(
+            [u.copy() for u in updates], rng_from_seed(0), matrix=matrix
+        )
+        for f, r in zip(flat, reference):
+            assert_states_identical(f.state, r.state)
+            assert f.metadata["unit_sources"] == r.metadata["unit_sources"]
+
+    def test_mix_consumes_identical_rng_stream(self):
+        """Flat and reference mixing draw the same generator sequence."""
+        rng = rng_from_seed(21)
+        template = random_schema_state(rng)
+        updates = updates_from(states_like(template, rng, 6), rng)
+        rng_a, rng_b = rng_from_seed(7), rng_from_seed(7)
+        mix_updates([u.copy() for u in updates], rng_a)
+        mix_updates_reference([u.copy() for u in updates], rng_b)
+        assert rng_a.integers(0, 2**31) == rng_b.integers(0, 2**31)
+
+
+class TestAttackScoringEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("classes", [2, 6])
+    def test_gradsim_scores_match_reference(self, seed, classes):
+        rng = rng_from_seed(seed)
+        template = random_schema_state(rng)
+        updates = updates_from(states_like(template, rng, 8), rng)
+        references = {
+            attribute: states_like(template, rng, 1)[0] for attribute in range(classes)
+        }
+        class_deltas = reference_deltas(references, template)
+        flat = score_updates(updates, template, class_deltas)
+        reference = score_updates_reference(updates, template, class_deltas)
+        assert list(flat) == list(reference)
+        for participant in reference:
+            assert list(flat[participant]) == list(reference[participant])
+            for attribute in reference[participant]:
+                assert flat[participant][attribute] == pytest.approx(
+                    reference[participant][attribute], abs=1e-5
+                )
+            # the decision (argmax class) must agree exactly
+            assert max(flat[participant], key=flat[participant].get) == max(
+                reference[participant], key=reference[participant].get
+            )
+
+    def test_zero_direction_scores_zero(self):
+        rng = rng_from_seed(31)
+        template = random_schema_state(rng)
+        identical = ModelUpdate(
+            sender_id=0,
+            round_index=0,
+            state=OrderedDict((k, v.copy()) for k, v in template.items()),
+        )
+        references = {a: states_like(template, rng, 1)[0] for a in range(2)}
+        class_deltas = reference_deltas(references, template)
+        scores = score_updates([identical], template, class_deltas)
+        assert all(value == 0.0 for value in scores[0].values())
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reference_delta_matrix_matches_dict_deltas(self, seed):
+        rng = rng_from_seed(seed)
+        template = random_schema_state(rng)
+        references = {a: states_like(template, rng, 1)[0] for a in range(3)}
+        attributes, matrix = reference_delta_matrix(references, template)
+        deltas = reference_deltas(references, template)
+        assert attributes == list(references)
+        for i, attribute in enumerate(attributes):
+            np.testing.assert_array_equal(matrix[i], deltas[attribute])
+
+
+class TestFlatPlumbing:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_roundtrip_views_share_memory(self, seed):
+        rng = rng_from_seed(seed)
+        template = random_schema_state(rng)
+        updates = updates_from(states_like(template, rng, 3), rng)
+        batch = FlatUpdateBatch.from_updates(updates)
+        rebuilt = batch.to_updates()
+        for i, (original, view_backed) in enumerate(zip(updates, rebuilt)):
+            assert view_backed.sender_id == original.sender_id
+            assert view_backed.num_samples == original.num_samples
+            assert_states_identical(view_backed.state, original.state)
+            assert view_backed.flat_vector is not None
+            # in-place writes through the dict view hit the batch matrix
+            first = next(iter(view_backed.state))
+            view_backed.state[first][...] = 123.0
+            assert np.all(batch.matrix[i, : view_backed.state[first].size] == 123.0)
+
+    def test_ensure_flat_swaps_state_to_views(self):
+        rng = rng_from_seed(40)
+        template = random_schema_state(rng)
+        update = updates_from(states_like(template, rng, 1), rng)[0]
+        before = update.flat().copy()
+        vector = update.ensure_flat()
+        assert update.flat_vector is vector
+        np.testing.assert_array_equal(before, vector)
+        name = next(iter(update.state))
+        update.state[name][...] = 7.0
+        assert np.all(vector[: update.state[name].size] == 7.0)
+
+    def test_copy_detaches_from_flat_plane(self):
+        rng = rng_from_seed(41)
+        template = random_schema_state(rng)
+        update = updates_from(states_like(template, rng, 1), rng)[0]
+        update.ensure_flat()
+        clone = update.copy()
+        assert clone.flat_vector is None
+        name = next(iter(clone.state))
+        clone.state[name][...] = 55.0
+        assert not np.any(update.state[name] == 55.0)
+
+    def test_flat_state_roundtrip(self):
+        rng = rng_from_seed(42)
+        template = random_schema_state(rng)
+        flat_state = FlatState.from_state(template)
+        assert_states_identical(flat_state.as_dict(), template)
+        duplicate = flat_state.copy()
+        duplicate.vector[:] = 0.0
+        assert_states_identical(flat_state.as_dict(), template)
+
+    def test_unit_columns_cover_each_coordinate_once(self):
+        rng = rng_from_seed(43)
+        template = random_schema_state(rng)
+        schema = schema_of(template)
+        from repro.federated.update import layer_groups
+
+        units = [names for names in layer_groups(tuple(schema.names)).values()]
+        columns = unit_columns(schema, units)
+        covered = np.zeros(schema.total_size, dtype=int)
+        for column in columns:
+            covered[column] += 1
+        assert np.all(covered == 1)
+
+    def test_batch_rejects_schema_mismatch(self):
+        rng = rng_from_seed(44)
+        template = random_schema_state(rng)
+        updates = updates_from(states_like(template, rng, 2), rng)
+        broken = OrderedDict(updates[1].state)
+        broken.pop(list(broken)[-1])
+        updates[1] = updates[1].with_state(broken)
+        with pytest.raises(KeyError):
+            FlatUpdateBatch.from_updates(updates)
+
+    def test_batch_rejects_flat_backed_update_of_other_schema(self):
+        """Same total size is not enough — flat-backed rows must share names."""
+        a = ModelUpdate(
+            sender_id=0,
+            round_index=0,
+            state=OrderedDict([("w", np.zeros(4, dtype=np.float32))]),
+        )
+        b = ModelUpdate(
+            sender_id=1,
+            round_index=0,
+            state=OrderedDict([("conv.w", np.zeros((2, 2), dtype=np.float32))]),
+        )
+        a.ensure_flat()
+        b.ensure_flat()
+        with pytest.raises(KeyError):
+            FlatUpdateBatch.from_updates([a, b])
+
+    def test_norms_pack_dict_reference_by_name(self):
+        """A reference dict with reordered keys must still align by name."""
+        rng = rng_from_seed(45)
+        template = random_schema_state(rng)
+        updates = updates_from(states_like(template, rng, 3), rng)
+        reordered = OrderedDict((name, template[name]) for name in reversed(list(template)))
+        batch = FlatUpdateBatch.from_updates(updates)
+        np.testing.assert_array_equal(batch.norms(template), batch.norms(reordered))
+
+
+class TestReorderedReferenceStates:
+    def test_relink_attack_aligns_reference_states_by_name(self, small_model):
+        """Reference states with reordered keys classify identically."""
+        from repro.attacks.reconstruction import RelinkAttack
+
+        base = small_model.state_dict()
+        plus = OrderedDict((k, v + 1.0) for k, v in base.items())
+        minus = OrderedDict((k, v - 1.0) for k, v in base.items())
+        reordered_plus = OrderedDict((k, plus[k]) for k in reversed(list(plus)))
+        rng = rng_from_seed(0)
+        updates = updates_from(states_like(base, rng, 4), rng)
+        mixed = mix_updates(updates, rng_from_seed(1))
+        straight = RelinkAttack({0: minus, 1: plus}, base).run(mixed)
+        shuffled = RelinkAttack({0: minus, 1: reordered_plus}, base).run(mixed)
+        assert straight.piece_assignments == shuffled.piece_assignments
+
+    def test_norm_filtered_mean_with_reordered_reference(self):
+        rng = rng_from_seed(46)
+        template = random_schema_state(rng)
+        updates = updates_from(states_like(template, rng, 5), rng)
+        reordered = OrderedDict((name, template[name]) for name in reversed(list(template)))
+        norms = row_norms(
+            FlatUpdateBatch.from_updates(updates).deltas(template), schema_of(template)
+        )
+        bound = float(np.median(norms))
+        assert_states_identical(
+            norm_filtered_mean(updates, reordered, bound),
+            norm_filtered_mean_reference(updates, reordered, bound),
+        )
