@@ -45,7 +45,7 @@ def attacked_run(defense, rounds=ROUNDS, seed=0):
         defense=defense, attack=attack,
     )
     result = sim.run()
-    return float(np.mean(result.inference_curve())), result.accuracy_curve()[-1]
+    return float(np.mean(result.inference_values())), result.accuracy_curve()[-1]
 
 
 def mixnn_defense(k=None, granularity="layer"):

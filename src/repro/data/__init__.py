@@ -14,6 +14,8 @@ from .motion import ACTIVITIES, SyntheticMobiAct, SyntheticMotionSense
 from .partition import (
     background_subset,
     clients_by_attribute,
+    dirichlet_clients,
+    dirichlet_partition,
     k_fold_clients,
     merge_clients,
 )
@@ -34,6 +36,8 @@ __all__ = [
     "k_fold_clients",
     "merge_clients",
     "clients_by_attribute",
+    "dirichlet_partition",
+    "dirichlet_clients",
     "DATASETS",
     "make_dataset",
 ]

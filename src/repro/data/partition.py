@@ -17,6 +17,8 @@ __all__ = [
     "k_fold_clients",
     "merge_clients",
     "clients_by_attribute",
+    "dirichlet_partition",
+    "dirichlet_clients",
 ]
 
 
@@ -75,6 +77,98 @@ def merge_clients(clients: list[ClientDataset]) -> ArrayDataset:
     for client in clients[1:]:
         merged = merged.concat(client.train)
     return merged
+
+
+def dirichlet_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    alpha: float,
+    rng: np.random.Generator,
+    min_samples_per_client: int = 1,
+) -> list[np.ndarray]:
+    """Non-IID index partition with Dirichlet(α) class mixtures per client.
+
+    The standard federated non-IID benchmark construction (Hsu et al. 2019):
+    for each label class, draw per-client proportions from ``Dir(alpha)`` and
+    split that class's (shuffled) samples accordingly.  Small ``alpha``
+    concentrates each class on few clients (heavy skew, the regime that makes
+    churn hurt); large ``alpha`` approaches an IID split.
+
+    Every sample lands in exactly one client.  Clients left under
+    ``min_samples_per_client`` are topped up deterministically from the
+    largest clients, so downstream training never sees an empty shard.
+    """
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be > 0, got {alpha}")
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if min_samples_per_client * num_clients > len(labels):
+        raise ValueError(
+            f"cannot guarantee {min_samples_per_client} samples for each of "
+            f"{num_clients} clients with only {len(labels)} samples"
+        )
+    shards: list[list[int]] = [[] for _ in range(num_clients)]
+    for label in np.unique(labels):
+        members = rng.permutation(np.flatnonzero(labels == label))
+        proportions = rng.dirichlet(np.full(num_clients, alpha))
+        # cumulative cut points; the final cut is len(members) by construction
+        cuts = (np.cumsum(proportions)[:-1] * len(members)).round().astype(int)
+        for client_index, split in enumerate(np.split(members, cuts)):
+            shards[client_index].extend(split.tolist())
+    # Deterministic top-up: move surplus samples from the currently largest
+    # shard until every shard meets the floor.
+    sizes = np.array([len(shard) for shard in shards])
+    while sizes.min() < min_samples_per_client:
+        poorest = int(sizes.argmin())
+        richest = int(sizes.argmax())
+        shards[poorest].append(shards[richest].pop())
+        sizes[poorest] += 1
+        sizes[richest] -= 1
+    return [np.sort(np.asarray(shard, dtype=np.int64)) for shard in shards]
+
+
+def dirichlet_clients(
+    dataset: ArrayDataset,
+    num_clients: int,
+    alpha: float,
+    rng: np.random.Generator,
+    test_fraction: float = 1.0 / 6.0,
+    min_samples_per_client: int = 2,
+) -> list[ClientDataset]:
+    """Carve one pooled dataset into non-IID :class:`ClientDataset` shards.
+
+    Pairs the Dirichlet partitioner with the pipeline's client container:
+    each shard gets the paper's 5/6-train 1/6-test split, and the client's
+    ``attribute`` is its dominant label class (a natural stand-in sensitive
+    attribute for skewed shards — heavy skew makes it near-deterministic).
+    """
+    from .base import train_test_split
+
+    shards = dirichlet_partition(
+        dataset.labels, num_clients, alpha, rng, min_samples_per_client=min_samples_per_client
+    )
+    clients: list[ClientDataset] = []
+    for client_id, shard in enumerate(shards):
+        local = dataset.subset(shard)
+        counts = np.bincount(local.labels)
+        attribute = int(counts.argmax())
+        if len(local) >= 2:
+            train, test = train_test_split(local, test_fraction, rng, stratify=False)
+        else:  # a single-sample shard cannot split; reuse it for both views
+            train = test = local
+        clients.append(
+            ClientDataset(
+                client_id=client_id,
+                train=train,
+                test=test,
+                attribute=attribute,
+                metadata={"dirichlet_alpha": alpha, "num_samples": len(local)},
+            )
+        )
+    return clients
 
 
 def clients_by_attribute(clients: list[ClientDataset]) -> dict[int, list[ClientDataset]]:

@@ -45,6 +45,9 @@ class MixNNDefense(Defense):
     ) -> None:
         self.proxy = proxy
         self._k = k
+        # Only a proxy this defense builds itself (full-round mode) may track
+        # the cohort size; a caller-supplied proxy keeps its configured k.
+        self._adaptive_k = proxy is None and k is None
         self._granularity = granularity
         self._rng = rng or np.random.default_rng()
         self._enclave = enclave
@@ -59,6 +62,12 @@ class MixNNDefense(Defense):
                 rng=self._rng,
                 granularity=self._granularity,
             )
+        elif self._adaptive_k and round_size >= 1 and self.proxy.k != round_size:
+            # Full-round buffering must track the cohort that actually shows
+            # up: under churn/stragglers/async the arriving subset varies per
+            # round, and the proxy mixes whatever arrives (lists are drained
+            # between rounds, so the resize is always legal here).
+            self.proxy.resize(round_size)
         return self.proxy
 
     def _attest(self) -> None:

@@ -12,6 +12,14 @@ Three studies DESIGN.md §6 commits to:
 * :func:`run_relink_robustness` — §6.4 as an *attack* rather than a census: a
   malicious server tries to re-link mixed layer pieces using its reference
   models; near-chance piece accuracy confirms the paper's robustness claim.
+
+Plus the scenario-engine study this reproduction adds beyond the paper:
+
+* :func:`run_scenario_comparison` — the same dataset under realistic client
+  churn (10–30 % per-round dropout) with three round-closure schemes:
+  synchronous wait-for-all-survivors, synchronous with a straggler deadline,
+  and FedBuff-style staleness-weighted buffered-async aggregation.  Scores
+  final utility against the simulated wall-clock cost per round.
 """
 
 from __future__ import annotations
@@ -39,6 +47,11 @@ __all__ = [
     "run_defense_comparison",
     "run_passive_vs_active",
     "run_relink_robustness",
+    "ScenarioComparisonRow",
+    "SCENARIO_SCHEMES",
+    "make_scenario",
+    "run_scenario_comparison",
+    "render_scenario_comparison",
 ]
 
 #: The extended defense roster (name -> factory taking the params object).
@@ -104,7 +117,7 @@ def run_defense_comparison(
             DefenseComparisonRow(
                 defense=name,
                 final_accuracy=result.accuracy_curve()[-1],
-                mean_inference=float(np.mean(result.inference_curve())),
+                mean_inference=float(np.mean(result.inference_values())),
                 random_guess=dataset.random_guess_accuracy,
             )
         )
@@ -130,8 +143,136 @@ def run_passive_vs_active(
     curves: dict[str, list[float]] = {}
     for mode in ("passive", "active"):
         result, _ = _attacked_run(dataset_name, EXTENDED_DEFENSES["classical-fl"], scale, seed, rounds, mode=mode)
-        curves[mode] = result.inference_curve()
+        curves[mode] = result.inference_values()
     return curves
+
+
+@dataclass
+class ScenarioComparisonRow:
+    """One round-closure scheme's outcome under client churn."""
+
+    scheme: str
+    final_accuracy: float
+    mean_round_duration: float
+    mean_aggregated: float
+    total_stale: int
+    total_stragglers: int
+
+    @property
+    def accuracy_per_second(self) -> float:
+        """Final accuracy per simulated second of round time (efficiency)."""
+        if self.mean_round_duration <= 0:
+            return float("inf")
+        return self.final_accuracy / self.mean_round_duration
+
+
+#: The compared round-closure schemes, in presentation order.
+SCENARIO_SCHEMES: tuple[str, ...] = ("sync-full", "sync-deadline", "buffered-async")
+
+
+def make_scenario(
+    scheme: str,
+    dropout: float,
+    cohort: int,
+    deadline: float = 2.5,
+    staleness_alpha: float = 0.5,
+):
+    """Build the :class:`ScenarioConfig` for one round-closure scheme.
+
+    All three share the same churn (``dropout``) and latency distribution
+    (log-normal, median 1 s, with a 15 % heavy straggler tail), so the
+    schemes differ only in *when the server closes the round*:
+
+    * ``"sync-full"`` waits for every surviving client (round time = slowest
+      survivor — the straggler tail dominates);
+    * ``"sync-deadline"`` cuts stragglers at ``deadline`` simulated seconds;
+    * ``"buffered-async"`` aggregates the first ~60 % of the cohort to
+      arrive and folds late updates into later rounds, down-weighted by
+      ``(1 + staleness) ** -alpha``.
+    """
+    from ..federated.scenario import LogNormalLatency, RandomDropout, ScenarioConfig
+
+    availability = RandomDropout(dropout) if dropout > 0 else None
+    latency = LogNormalLatency(
+        median=1.0, sigma=0.5, straggler_fraction=0.15, straggler_multiplier=8.0
+    )
+    if scheme == "sync-full":
+        return ScenarioConfig(availability=availability, latency=latency)
+    if scheme == "sync-deadline":
+        return ScenarioConfig(availability=availability, latency=latency, deadline=deadline)
+    if scheme == "buffered-async":
+        return ScenarioConfig(
+            availability=availability,
+            latency=latency,
+            aggregation="buffered-async",
+            buffer_size=max(1, int(round(0.6 * cohort))),
+            staleness_alpha=staleness_alpha,
+        )
+    raise KeyError(f"unknown scenario scheme {scheme!r}; choose from {SCENARIO_SCHEMES}")
+
+
+def run_scenario_comparison(
+    dataset_name: str = "motionsense",
+    scale: str = "ci",
+    seed: int = 0,
+    rounds: int = 5,
+    dropout: float = 0.2,
+) -> list[ScenarioComparisonRow]:
+    """Compare the three round-closure schemes under client churn.
+
+    ``dropout`` is the per-(client, round) churn probability — the ISSUE's
+    operating band is 10–30 %.  Client selection, training RNGs, and the
+    churn/latency draws are all shared across schemes (pure functions of
+    ``(seed, client_id, round)``), so the rows differ only in round-closure
+    policy.
+    """
+    from dataclasses import replace as dc_replace
+
+    rows: list[ScenarioComparisonRow] = []
+    for scheme in SCENARIO_SCHEMES:
+        dataset, params = build_experiment(dataset_name, scale=scale, seed=seed)
+        model_fn = model_fn_for(dataset)
+        cohort = params.clients_per_round or dataset.num_clients
+        config = dc_replace(
+            params.simulation_config(seed=seed, rounds=rounds),
+            scenario=make_scenario(scheme, dropout, cohort),
+        )
+        result = FederatedSimulation(dataset, model_fn, config).run()
+        durations = [r.simulated_duration for r in result.rounds]
+        rows.append(
+            ScenarioComparisonRow(
+                scheme=scheme,
+                final_accuracy=result.accuracy_curve()[-1],
+                mean_round_duration=float(np.mean(durations)),
+                mean_aggregated=float(np.mean([r.num_aggregated for r in result.rounds])),
+                total_stale=int(sum(r.num_stale for r in result.rounds)),
+                total_stragglers=int(sum(r.num_stragglers for r in result.rounds)),
+            )
+        )
+    return rows
+
+
+def render_scenario_comparison(rows: list[ScenarioComparisonRow]) -> str:
+    header = [
+        "scheme",
+        "final accuracy",
+        "mean round secs",
+        "mean merged/round",
+        "stale",
+        "stragglers",
+    ]
+    body = [
+        [
+            row.scheme,
+            round(row.final_accuracy, 3),
+            round(row.mean_round_duration, 2),
+            round(row.mean_aggregated, 1),
+            row.total_stale,
+            row.total_stragglers,
+        ]
+        for row in rows
+    ]
+    return format_table(header, body)
 
 
 def run_relink_robustness(

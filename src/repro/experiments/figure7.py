@@ -21,11 +21,17 @@ __all__ = ["Figure7Result", "run_figure7", "shape_checks"]
 
 @dataclass
 class Figure7Result:
-    """Cumulative inference-accuracy curves per scheme."""
+    """Cumulative inference-accuracy curves per scheme.
+
+    ``rounds`` carries the actual measured round indices (0-based), so the
+    rendered table stays aligned with the learning rounds even when the
+    attack produces no measurement for some early rounds.
+    """
 
     dataset: str
     curves: dict[str, list[float]]
     random_guess: float
+    rounds: list[int] | None = None
 
     def render(self) -> str:
         lines = [
@@ -33,11 +39,12 @@ class Figure7Result:
             f"(random guess = {self.random_guess:.2f})"
         ]
         header = ["round"] + list(self.curves)
+        first = next(iter(self.curves.values()))
+        round_indices = self.rounds if self.rounds is not None else list(range(len(first)))
         rows = []
-        for round_index in range(len(next(iter(self.curves.values())))):
+        for i, round_index in enumerate(round_indices):
             rows.append(
-                [round_index + 1]
-                + [round(self.curves[scheme][round_index], 3) for scheme in self.curves]
+                [round_index + 1] + [round(self.curves[scheme][i], 3) for scheme in self.curves]
             )
         lines.append(format_table(header, rows))
         for scheme, curve in self.curves.items():
@@ -54,14 +61,25 @@ def run_figure7(
 ) -> Figure7Result:
     """Regenerate one panel of Figure 7 (the paper's active worst case)."""
     curves: dict[str, list[float]] = {}
+    measured_rounds: list[int] | None = None
     guess = 0.5
     for scheme in SCHEMES:
         result, dataset, _ = run_scheme(
             dataset_name, scheme, scale=scale, seed=seed, rounds=rounds, attack_mode=attack_mode
         )
-        curves[scheme] = result.inference_curve()
+        pairs = result.inference_curve()
+        curves[scheme] = [value for _, value in pairs]
+        scheme_rounds = [round_index for round_index, _ in pairs]
+        if measured_rounds is not None and scheme_rounds != measured_rounds:
+            raise RuntimeError(
+                f"scheme {scheme!r} measured rounds {scheme_rounds} but earlier "
+                f"schemes measured {measured_rounds}; curves are not comparable"
+            )
+        measured_rounds = scheme_rounds
         guess = dataset.random_guess_accuracy
-    return Figure7Result(dataset=dataset_name, curves=curves, random_guess=guess)
+    return Figure7Result(
+        dataset=dataset_name, curves=curves, random_guess=guess, rounds=measured_rounds
+    )
 
 
 def shape_checks(result: Figure7Result) -> dict[str, bool]:

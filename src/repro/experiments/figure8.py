@@ -63,7 +63,9 @@ def run_figure8(
                 attack_mode="active",
                 background_ratio=ratio,
             )
-            accuracy[scheme].append(result.inference_curve()[-1])
+            # inference_curve yields (round_index, value) pairs; the sweep
+            # scores the final measured round's value.
+            accuracy[scheme].append(result.inference_curve()[-1][1])
             guess = dataset.random_guess_accuracy
     return Figure8Result(dataset=dataset_name, ratios=tuple(ratios), accuracy=accuracy, random_guess=guess)
 

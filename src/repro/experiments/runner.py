@@ -60,7 +60,14 @@ def run_experiment(name: str, dataset: str, scale: str, seed: int) -> str:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("experiment", choices=EXPERIMENTS + ("all",))
-    parser.add_argument("--dataset", default="motionsense", help="dataset name or 'all'")
+    # Validating against the registry here turns a typo like "cifr10" into an
+    # immediate argparse error instead of a deep KeyError in build_experiment.
+    parser.add_argument(
+        "--dataset",
+        default="motionsense",
+        choices=tuple(sorted(DATASETS)) + ("all",),
+        help="dataset name or 'all'",
+    )
     parser.add_argument("--scale", default="ci", choices=("ci", "paper"))
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)

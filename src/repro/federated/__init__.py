@@ -8,6 +8,17 @@ from .client import (
     train_locally,
 )
 from .flat import FlatState, FlatUpdateBatch, row_norms, unit_columns
+from .scenario import (
+    AlwaysAvailable,
+    ChurnTrace,
+    ClientAvailability,
+    FixedLatency,
+    LatencyModel,
+    LogNormalLatency,
+    RandomDropout,
+    ScenarioConfig,
+    staleness_weight,
+)
 from .server import AggregationServer, ServerObserver
 from .simulation import (
     FederatedSimulation,
@@ -46,4 +57,13 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "RoundRecord",
+    "ScenarioConfig",
+    "ClientAvailability",
+    "AlwaysAvailable",
+    "RandomDropout",
+    "ChurnTrace",
+    "LatencyModel",
+    "FixedLatency",
+    "LogNormalLatency",
+    "staleness_weight",
 ]

@@ -297,6 +297,23 @@ class FlatUpdateBatch:
             weights = weights.tolist()
         return flat_mean(list(self.matrix), self.schema, weights)
 
+    def staleness_weighted_mean(
+        self, staleness_alpha: float, sample_weighted: bool = False
+    ) -> np.ndarray:
+        """Staleness-aware column mean for buffered-async rounds.
+
+        Weights each row by ``(1 + staleness) ** -alpha`` from its update's
+        ``staleness`` metadata (see :func:`repro.federated.update.update_weights`);
+        requires per-update bookkeeping.  A batch with no stale rows reduces
+        to the plain (bit-identical) :meth:`mean`.
+        """
+        if self.updates is None:
+            raise ValueError("batch has no per-update bookkeeping (built from raw states)")
+        from .update import update_weights
+
+        weights = update_weights(self.updates, sample_weighted, staleness_alpha)
+        return flat_mean(list(self.matrix), self.schema, weights)
+
     def median(self) -> np.ndarray:
         """Coordinate-wise median across participants."""
         return np.median(self.matrix, axis=0).astype(np.float32)

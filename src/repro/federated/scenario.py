@@ -1,0 +1,273 @@
+"""Scenario models: client churn, stragglers, and asynchronous rounds.
+
+The paper evaluates MixNN under an idealized synchronous flow — every
+selected client trains and reports each round (Figures 2–3).  Real
+deployments see *churn* (devices go offline), *stragglers* (slow devices
+miss the round), and *asynchrony* (the server cannot afford to wait for the
+slowest participant).  This module models those regimes on top of the
+existing round engine without perturbing it when no scenario is configured.
+
+Design rules, mirroring the training RNGs:
+
+* every stochastic scenario decision is derived from
+  ``stable_seed(seed, label, client_id, round_index)`` alone — never from a
+  shared sequential RNG — so availability and latency draws are identical
+  across ``parallelism`` settings and independent of execution order;
+* :class:`ScenarioConfig` with all defaults is behaviour-identical to no
+  scenario at all (full participation, synchronous aggregation);
+* scenario metadata (``staleness``, ``latency``, ``origin_round``) rides on
+  :class:`~repro.federated.update.ModelUpdate.metadata` so downstream
+  consumers (aggregation weighting, benchmarks) need no new plumbing.
+
+Aggregation modes
+-----------------
+``"sync"``
+    The server waits for every surviving participant (optionally cut by a
+    ``deadline`` against the latency model) and averages them — today's flow.
+``"buffered-async"``
+    FedBuff-style (Nguyen et al., AISTATS'22): the server aggregates the
+    first ``buffer_size`` *arrivals* each round; later arrivals stay in
+    flight and join a future round carrying ``staleness = rounds late``,
+    down-weighted by ``(1 + staleness) ** -staleness_alpha`` inside
+    :func:`~repro.federated.update.aggregate_updates`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..utils.rng import rng_from_seed, stable_seed
+
+__all__ = [
+    "ClientAvailability",
+    "AlwaysAvailable",
+    "RandomDropout",
+    "ChurnTrace",
+    "LatencyModel",
+    "FixedLatency",
+    "LogNormalLatency",
+    "ScenarioConfig",
+    "staleness_weight",
+]
+
+AGGREGATION_MODES = ("sync", "buffered-async")
+
+
+# ----------------------------------------------------------------------
+# Availability (churn)
+# ----------------------------------------------------------------------
+class ClientAvailability(abc.ABC):
+    """Decides, per round, whether a selected client actually participates.
+
+    Implementations must be pure functions of ``(seed, client_id,
+    round_index)`` so the decision is reproducible across runs, execution
+    orders, and parallelism settings.
+    """
+
+    @abc.abstractmethod
+    def is_available(self, seed: int, client_id: int, round_index: int) -> bool:
+        """Whether ``client_id`` shows up for ``round_index``."""
+
+
+class AlwaysAvailable(ClientAvailability):
+    """No churn: every selected client participates (the paper's setting)."""
+
+    def is_available(self, seed: int, client_id: int, round_index: int) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class RandomDropout(ClientAvailability):
+    """Independent per-(client, round) dropout with a fixed probability.
+
+    The draw comes from ``stable_seed(seed, "availability", client_id,
+    round_index)`` — the same derivation scheme as the training RNGs — so a
+    client's fate this round is a pure function of the tuple, not of how many
+    other clients were polled before it.
+    """
+
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {self.probability}")
+
+    def is_available(self, seed: int, client_id: int, round_index: int) -> bool:
+        if self.probability == 0.0:
+            return True
+        rng = rng_from_seed(stable_seed(seed, "availability", client_id, round_index))
+        return float(rng.random()) >= self.probability
+
+
+class ChurnTrace(ClientAvailability):
+    """Replay an explicit availability trace (round → available client ids).
+
+    Rounds absent from the trace fall back to ``default_available`` — so a
+    trace can describe only the outage windows of interest.
+    """
+
+    def __init__(self, trace: Mapping[int, Iterable[int]], default_available: bool = True) -> None:
+        self.trace = {int(r): frozenset(int(c) for c in ids) for r, ids in trace.items()}
+        self.default_available = default_available
+
+    def is_available(self, seed: int, client_id: int, round_index: int) -> bool:
+        available = self.trace.get(round_index)
+        if available is None:
+            return self.default_available
+        return client_id in available
+
+    def __repr__(self) -> str:
+        return f"ChurnTrace(rounds={sorted(self.trace)}, default={self.default_available})"
+
+
+# ----------------------------------------------------------------------
+# Stragglers (latency)
+# ----------------------------------------------------------------------
+class LatencyModel(abc.ABC):
+    """Simulated wall-clock seconds between broadcast and an update's arrival.
+
+    Like availability, a pure function of ``(seed, client_id, round_index)``.
+    """
+
+    @abc.abstractmethod
+    def latency(self, seed: int, client_id: int, round_index: int) -> float:
+        """Simulated seconds for ``client_id``'s round-trip this round."""
+
+
+@dataclass(frozen=True)
+class FixedLatency(LatencyModel):
+    """Constant per-client latency — handy for deterministic tests and traces.
+
+    ``per_client`` overrides the default for specific client ids.
+    """
+
+    seconds: float = 1.0
+    per_client: tuple[tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"latency must be >= 0, got {self.seconds}")
+        if isinstance(self.per_client, Mapping):  # accept a plain dict too
+            object.__setattr__(self, "per_client", tuple(self.per_client.items()))
+        object.__setattr__(self, "_table", dict(self.per_client))
+
+    def latency(self, seed: int, client_id: int, round_index: int) -> float:
+        return float(self._table.get(client_id, self.seconds))
+
+
+@dataclass(frozen=True)
+class LogNormalLatency(LatencyModel):
+    """Log-normal round-trip times with an optional heavy straggler tail.
+
+    ``median`` is the typical round-trip; ``sigma`` the log-scale spread.  A
+    ``straggler_fraction`` of (client, round) pairs additionally multiply
+    their draw by ``straggler_multiplier`` — the bimodal "phone went to the
+    pocket" tail that deadline-based cutting is designed for.
+    """
+
+    median: float = 1.0
+    sigma: float = 0.5
+    straggler_fraction: float = 0.0
+    straggler_multiplier: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.median <= 0:
+            raise ValueError(f"median latency must be > 0, got {self.median}")
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+        if not 0.0 <= self.straggler_fraction <= 1.0:
+            raise ValueError(
+                f"straggler_fraction must be in [0, 1], got {self.straggler_fraction}"
+            )
+        if self.straggler_multiplier < 1.0:
+            raise ValueError(
+                f"straggler_multiplier must be >= 1, got {self.straggler_multiplier}"
+            )
+
+    def latency(self, seed: int, client_id: int, round_index: int) -> float:
+        rng = rng_from_seed(stable_seed(seed, "latency", client_id, round_index))
+        value = self.median * math.exp(self.sigma * float(rng.standard_normal()))
+        if self.straggler_fraction and float(rng.random()) < self.straggler_fraction:
+            value *= self.straggler_multiplier
+        return float(value)
+
+
+# ----------------------------------------------------------------------
+# Staleness weighting
+# ----------------------------------------------------------------------
+def staleness_weight(staleness: int, alpha: float) -> float:
+    """FedBuff-style polynomial down-weighting: ``(1 + s) ** -alpha``.
+
+    ``staleness`` is how many rounds late the update arrived (0 = on time,
+    weight 1); larger ``alpha`` discounts stale contributions harder.
+    """
+    if staleness < 0:
+        raise ValueError(f"staleness must be >= 0, got {staleness}")
+    if staleness == 0:
+        return 1.0
+    return float((1.0 + staleness) ** (-alpha))
+
+
+# ----------------------------------------------------------------------
+# The scenario bundle
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Operating-regime knobs for :class:`~repro.federated.simulation.FederatedSimulation`.
+
+    All defaults are behaviour-identical to running without a scenario: full
+    availability, no latency model, synchronous aggregation.  Mix and match:
+
+    * ``availability`` — churn model (:class:`RandomDropout`,
+      :class:`ChurnTrace`); dropped clients neither train nor report.
+    * ``latency`` + ``deadline`` — stragglers; in ``"sync"`` mode a client
+      whose simulated latency exceeds the deadline misses the round entirely.
+    * ``aggregation="buffered-async"`` + ``buffer_size`` — the server
+      aggregates the first ``buffer_size`` arrivals; the rest stay in flight
+      and land in a later round with ``staleness`` metadata, down-weighted by
+      ``staleness_alpha`` (and discarded beyond ``max_staleness``).
+    """
+
+    availability: ClientAvailability | None = None
+    latency: LatencyModel | None = None
+    #: simulated seconds after which a sync round closes (requires ``latency``)
+    deadline: float | None = None
+    aggregation: str = "sync"
+    #: K of the FedBuff-style buffer (required in ``"buffered-async"`` mode)
+    buffer_size: int | None = None
+    #: polynomial staleness discount exponent (0 = no down-weighting)
+    staleness_alpha: float = 0.5
+    #: in-flight updates older than this many rounds are discarded, not
+    #: merged.  The default (10) also bounds the async backlog: without it a
+    #: buffer persistently smaller than the arrival rate would accumulate
+    #: full model states without limit.  ``None`` = keep everything forever.
+    max_staleness: int | None = 10
+
+    def __post_init__(self) -> None:
+        if self.aggregation not in AGGREGATION_MODES:
+            raise ValueError(
+                f"unknown aggregation mode {self.aggregation!r}; choose from {AGGREGATION_MODES}"
+            )
+        if self.deadline is not None:
+            if self.deadline <= 0:
+                raise ValueError(f"deadline must be > 0, got {self.deadline}")
+            if self.latency is None:
+                raise ValueError("a deadline requires a latency model to measure against")
+        if self.aggregation == "buffered-async":
+            if self.buffer_size is None or self.buffer_size < 1:
+                raise ValueError(
+                    f"buffered-async aggregation requires buffer_size >= 1, got {self.buffer_size}"
+                )
+        elif self.buffer_size is not None:
+            raise ValueError("buffer_size only applies to buffered-async aggregation")
+        if self.staleness_alpha < 0:
+            raise ValueError(f"staleness_alpha must be >= 0, got {self.staleness_alpha}")
+        if self.max_staleness is not None and self.max_staleness < 0:
+            raise ValueError(f"max_staleness must be >= 0, got {self.max_staleness}")
+
+    @property
+    def is_async(self) -> bool:
+        return self.aggregation == "buffered-async"

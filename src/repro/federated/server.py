@@ -48,9 +48,13 @@ class AggregationServer:
         sample_weighted: bool = False,
         broadcast_hook: Callable[[int, dict], dict] | None = None,
         retain_received: int | None = 0,
+        staleness_alpha: float | None = None,
     ) -> None:
         self.global_state = {k: np.asarray(v, dtype=np.float32).copy() for k, v in initial_state.items()}
         self.sample_weighted = sample_weighted
+        #: FedBuff-style staleness discount for buffered-async rounds; ``None``
+        #: (the default) aggregates every update at full weight.
+        self.staleness_alpha = staleness_alpha
         self.broadcast_hook = broadcast_hook
         self.observers: list[ServerObserver] = []
         self.round_index = 0
@@ -97,11 +101,20 @@ class AggregationServer:
     def receive_and_aggregate(self, updates: list[ModelUpdate]) -> dict:
         """Aggregate received updates into the next global model (step ❸)."""
         if not updates:
-            raise ValueError("no updates received this round")
+            raise ValueError(
+                f"no updates received in round {self.round_index} — either no clients "
+                "were selected (check clients_per_round) or every selected client "
+                "dropped out / missed the deadline (check the scenario's "
+                "availability, latency, and deadline settings)"
+            )
         for observer in self.observers:
             observer.on_round(self.round_index, self._last_broadcast, updates)
         if self._retain_received is None or self._retain_received > 0:
             self.received_log.append(updates)
-        self.global_state = aggregate_updates(updates, sample_weighted=self.sample_weighted)
+        self.global_state = aggregate_updates(
+            updates,
+            sample_weighted=self.sample_weighted,
+            staleness_alpha=self.staleness_alpha,
+        )
         self.round_index += 1
         return self.global_state

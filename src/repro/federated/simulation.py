@@ -10,6 +10,18 @@ paper's figures are built from:
 * per-client accuracy at each round (Figure 6),
 * cumulative inference accuracy of the attack (Figures 7–8),
 * received raw updates for the §6.4 neighbor analysis (Figure 9).
+
+Scenario engine
+---------------
+A :class:`~repro.federated.scenario.ScenarioConfig` on the simulation config
+moves the round loop from the paper's idealized synchronous flow to a
+production regime: per-round client churn (availability models), stragglers
+cut by a deadline (latency models), and FedBuff-style buffered-async
+aggregation where the server merges the first ``buffer_size`` arrivals and
+late updates land in later rounds down-weighted by their staleness.  With no
+scenario configured the round loop takes exactly the legacy code path, and
+every scenario decision is a pure function of ``(seed, client_id, round)``,
+so results remain bit-identical across ``parallelism`` settings.
 """
 
 from __future__ import annotations
@@ -31,6 +43,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
 from ..nn import Module
 from ..utils.rng import rng_from_seed, stable_seed
 from .client import FederatedClient, LocalTrainingConfig
+from .scenario import AlwaysAvailable, ScenarioConfig
 from .server import AggregationServer
 from .update import ModelUpdate
 
@@ -47,6 +60,10 @@ class SimulationConfig:
     independently of execution order, so results are bit-identical across
     parallelism settings — and ``parallelism=1`` takes the exact sequential
     code path.  ``None`` sizes the pool to the machine.
+
+    ``scenario`` opts the round loop into churn/straggler/async operation
+    (see :class:`~repro.federated.scenario.ScenarioConfig`); ``None`` keeps
+    the paper's idealized synchronous flow, bit for bit.
     """
 
     rounds: int
@@ -60,23 +77,51 @@ class SimulationConfig:
     #: mixing-quality extensions).  Disable for long/large runs where the
     #: per-round history would grow without bound.
     retain_received_updates: bool = True
+    #: churn / straggler / async operating regime; ``None`` = paper flow.
+    scenario: ScenarioConfig | None = None
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if self.clients_per_round is not None and self.clients_per_round < 1:
+            raise ValueError(
+                f"clients_per_round must be >= 1 (or None for the full cohort), "
+                f"got {self.clients_per_round} — a round with no selected clients "
+                "can never produce updates to aggregate"
+            )
         if self.parallelism is not None and self.parallelism < 1:
             raise ValueError(f"parallelism must be >= 1 (or None for auto), got {self.parallelism}")
 
 
 @dataclass
 class RoundRecord:
-    """Metrics captured at the end of one learning round."""
+    """Metrics captured at the end of one learning round.
+
+    The ``num_*`` counters and ``simulated_duration`` describe the scenario
+    engine's view of the round (selection → churn → deadline → buffer); under
+    the legacy flow they degenerate to "everyone selected arrived, nothing
+    was stale, duration 0".
+    """
 
     round_index: int
     global_accuracy: float
     per_client_accuracy: dict[int, float] = field(default_factory=dict)
     mean_local_loss: float = float("nan")
     inference_accuracy: float | None = None
+    #: clients picked by the selection RNG this round
+    num_selected: int = 0
+    #: selected clients lost to churn (availability model said no)
+    num_dropped: int = 0
+    #: surviving clients that missed the sync deadline (trained in async mode)
+    num_stragglers: int = 0
+    #: updates the server actually merged this round (post defense)
+    num_aggregated: int = 0
+    #: merged updates that arrived late (staleness >= 1, async mode)
+    num_stale: int = 0
+    #: in-flight updates discarded for exceeding max_staleness
+    num_discarded: int = 0
+    #: simulated wall-clock seconds from broadcast to aggregation
+    simulated_duration: float = 0.0
 
 
 @dataclass
@@ -93,8 +138,23 @@ class SimulationResult:
     def accuracy_curve(self) -> list[float]:
         return [r.global_accuracy for r in self.rounds]
 
-    def inference_curve(self) -> list[float]:
-        return [r.inference_accuracy for r in self.rounds if r.inference_accuracy is not None]
+    def inference_curve(self) -> list[tuple[int, float]]:
+        """Attack accuracy as explicit ``(round_index, value)`` pairs.
+
+        Rounds without a measurement (no attack attached, or an attack that
+        starts late) are omitted — carrying the round index keeps the curve
+        alignable with :meth:`accuracy_curve`, which covers every round.
+        Use :meth:`inference_values` for the bare value list.
+        """
+        return [
+            (r.round_index, r.inference_accuracy)
+            for r in self.rounds
+            if r.inference_accuracy is not None
+        ]
+
+    def inference_values(self) -> list[float]:
+        """Just the measured attack-accuracy values, in round order."""
+        return [value for _, value in self.inference_curve()]
 
     def per_client_accuracy_at(self, round_index: int) -> dict[int, float]:
         """Per-client accuracies at a given round (Figure 6 uses round 6)."""
@@ -132,6 +192,13 @@ class FederatedSimulation:
         # The simulation owns its received-update history (the server keeps
         # none by default — see AggregationServer.retain_received).
         self._received_log: list[list[ModelUpdate]] = []
+        # Buffered-async backlog: updates dispatched but not yet aggregated,
+        # each as (origin_round, latency, client_id, update), kept in
+        # arrival order.
+        self._in_flight: list[tuple[int, float, int, ModelUpdate]] = []
+        # One evaluation replica per simulation: model_accuracy would
+        # otherwise rebuild a scratch model from model_fn every round.
+        self._eval_model: Module | None = None
 
         self.clients = [
             FederatedClient(data, model_fn, config.local, seed=config.seed)
@@ -141,10 +208,14 @@ class FederatedSimulation:
         broadcast_hook = None
         if attack is not None and getattr(attack, "mode", None) == "active":
             broadcast_hook = attack.craft_broadcast
+        scenario = config.scenario
         self.server = AggregationServer(
             initial_model.state_dict(),
             sample_weighted=config.sample_weighted,
             broadcast_hook=broadcast_hook,
+            staleness_alpha=(
+                scenario.staleness_alpha if scenario is not None and scenario.is_async else None
+            ),
         )
         if attack is not None:
             if getattr(attack, "truth", None) is None:
@@ -197,14 +268,148 @@ class FederatedSimulation:
             return float("nan")
         return float(np.mean(losses))
 
+    @property
+    def _evaluation_model(self) -> Module:
+        """Cached scratch replica for accuracy evaluation (built once)."""
+        if self._eval_model is None:
+            self._eval_model = self.model_fn(rng_from_seed(0))
+        return self._eval_model
+
+    # ------------------------------------------------------------------
+    # Scenario engine
+    # ------------------------------------------------------------------
+    def _scenario_round(
+        self, broadcast_state: dict, round_index: int
+    ) -> tuple[list[ModelUpdate], list[ModelUpdate], RoundRecord]:
+        """One churn/straggler/async round.
+
+        Returns ``(arrivals, trained, stats)``: the updates the server will
+        see this round (what the defense processes), the updates trained this
+        round (for the local-loss metric), and a partially filled
+        :class:`RoundRecord` carrying the scenario counters.
+        """
+        scenario = self.config.scenario
+        seed = self.config.seed
+        selected = self._select_clients()
+        availability = scenario.availability or AlwaysAvailable()
+        surviving = [
+            client
+            for client in selected
+            if availability.is_available(seed, client.client_id, round_index)
+        ]
+        latencies: dict[int, float] = {}
+        if scenario.latency is not None:
+            latencies = {
+                client.client_id: scenario.latency.latency(seed, client.client_id, round_index)
+                for client in surviving
+            }
+        stats = RoundRecord(
+            round_index=round_index,
+            global_accuracy=float("nan"),
+            num_selected=len(selected),
+            num_dropped=len(selected) - len(surviving),
+        )
+
+        if not scenario.is_async:
+            if scenario.deadline is not None:
+                arrivers = [
+                    client for client in surviving if latencies[client.client_id] <= scenario.deadline
+                ]
+            else:
+                arrivers = surviving
+            stats.num_stragglers = len(surviving) - len(arrivers)
+            if not arrivers:
+                deadline_part = (
+                    f", {stats.num_stragglers} missed the {scenario.deadline}s deadline"
+                    if scenario.deadline is not None
+                    else ""
+                )
+                raise RuntimeError(
+                    f"round {round_index}: no client survived the scenario — "
+                    f"{len(selected)} selected, {stats.num_dropped} dropped out"
+                    f"{deadline_part}; lower the dropout probability, extend the "
+                    "deadline, or select more clients per round"
+                )
+            updates = self._train_clients(arrivers, broadcast_state, round_index)
+            for update in updates:
+                update.metadata["staleness"] = 0
+                update.metadata["origin_round"] = round_index
+                if latencies:
+                    update.metadata["latency"] = latencies[update.sender_id]
+            arrival_times = [latencies[u.sender_id] for u in updates] if latencies else []
+            stats.simulated_duration = max(arrival_times) if arrival_times else 0.0
+            return updates, updates, stats
+
+        # Buffered-async (FedBuff-style): merge the first K arrivals; every
+        # other dispatched update stays in flight for a later round.
+        trained = self._train_clients(surviving, broadcast_state, round_index)
+        fresh: list[tuple[int, float, int, ModelUpdate]] = []
+        for update in trained:
+            latency = latencies.get(update.sender_id, 0.0)
+            update.metadata["latency"] = latency
+            update.metadata["origin_round"] = round_index
+            fresh.append((round_index, latency, update.sender_id, update))
+        fresh.sort(key=lambda item: (item[1], item[2]))  # arrival order within the round
+
+        if scenario.deadline is not None:
+            on_time = [item for item in fresh if item[1] <= scenario.deadline]
+            in_transit = [item for item in fresh if item[1] > scenario.deadline]
+        else:
+            on_time, in_transit = fresh, []
+        stats.num_stragglers = len(in_transit)
+
+        # In-flight updates from earlier rounds reached the server first.
+        queue = list(self._in_flight) + on_time
+        discarded = 0
+        if scenario.max_staleness is not None:
+            kept = []
+            for item in queue:
+                if round_index - item[0] > scenario.max_staleness:
+                    discarded += 1
+                else:
+                    kept.append(item)
+            queue = kept
+        stats.num_discarded = discarded
+
+        take = min(scenario.buffer_size, len(queue))
+        merged, leftover = queue[:take], queue[take:]
+        self._in_flight = leftover + in_transit
+        if not merged:
+            raise RuntimeError(
+                f"round {round_index}: the async buffer received no arrivals — "
+                f"{len(selected)} selected, {stats.num_dropped} dropped out, "
+                f"{len(in_transit)} still in transit, {discarded} discarded as too "
+                "stale, and nothing was left in flight; lower the dropout "
+                "probability or select more clients per round"
+            )
+        arrivals: list[ModelUpdate] = []
+        for origin_round, latency, _, update in merged:
+            staleness = round_index - origin_round
+            update.metadata["staleness"] = staleness
+            if staleness > 0:
+                stats.num_stale += 1
+            arrivals.append(update)
+        last = merged[-1]
+        stats.simulated_duration = last[1] if last[0] == round_index else 0.0
+        return arrivals, trained, stats
+
     def run_round(self) -> RoundRecord:
         """One iteration of the Figure 2 / Figure 3 flow."""
         round_index = self.server.round_index
         broadcast_state = self.server.broadcast()
 
-        participants = self._select_clients()
-        updates = self._train_clients(participants, broadcast_state, round_index)
-        mean_loss = self._mean_local_loss(updates)
+        if self.config.scenario is None:
+            participants = self._select_clients()
+            updates = self._train_clients(participants, broadcast_state, round_index)
+            trained = updates
+            record = RoundRecord(
+                round_index=round_index,
+                global_accuracy=float("nan"),
+                num_selected=len(participants),
+            )
+        else:
+            updates, trained, record = self._scenario_round(broadcast_state, round_index)
+        mean_loss = self._mean_local_loss(trained)
 
         received = self.defense.process_round(
             updates, self._defense_rng, broadcast_state=broadcast_state
@@ -213,14 +418,14 @@ class FederatedSimulation:
         if self.config.retain_received_updates:
             self._received_log.append(received)
 
-        record = RoundRecord(
-            round_index=round_index,
-            global_accuracy=model_accuracy(new_state, self.dataset.global_test(), self.model_fn),
-            mean_local_loss=mean_loss,
+        record.num_aggregated = len(received)
+        record.mean_local_loss = mean_loss
+        record.global_accuracy = model_accuracy(
+            new_state, self.dataset.global_test(), self.model_fn, model=self._evaluation_model
         )
         if self.config.track_per_client_accuracy:
             record.per_client_accuracy = per_client_accuracies(
-                new_state, self.dataset.clients(), self.model_fn
+                new_state, self.dataset.clients(), self.model_fn, model=self._evaluation_model
             )
         if self.attack is not None:
             record.inference_accuracy = self.attack.accuracy_curve()[-1]

@@ -49,6 +49,7 @@ __all__ = [
     "aggregate_states_reference",
     "aggregate_updates",
     "aggregate_updates_reference",
+    "update_weights",
     "state_delta",
     "state_delta_reference",
 ]
@@ -250,14 +251,48 @@ def aggregate_states_reference(
     return out
 
 
+def update_weights(
+    updates: list[ModelUpdate],
+    sample_weighted: bool = False,
+    staleness_alpha: float | None = None,
+) -> list[float] | None:
+    """Per-update aggregation weights, or ``None`` for the plain mean.
+
+    ``sample_weighted`` scales by each update's ``num_samples`` (classical
+    FedAvg).  ``staleness_alpha`` additionally applies the FedBuff-style
+    polynomial discount ``(1 + staleness) ** -alpha`` to updates that carry
+    ``staleness`` metadata (buffered-async rounds); fresh updates keep weight
+    1, so a round where everything arrived on time aggregates exactly like
+    the plain mean.
+    """
+    if not sample_weighted and staleness_alpha is None:
+        return None
+    from .scenario import staleness_weight
+
+    weights: list[float] = []
+    for update in updates:
+        weight = float(update.num_samples) if sample_weighted else 1.0
+        if staleness_alpha is not None:
+            weight *= staleness_weight(int(update.metadata.get("staleness", 0)), staleness_alpha)
+        weights.append(weight)
+    if staleness_alpha is not None and not sample_weighted and all(w == 1.0 for w in weights):
+        return None  # nothing stale: keep the unweighted (bit-identical) path
+    return weights
+
+
 def aggregate_updates(
     updates: list[ModelUpdate],
     sample_weighted: bool = False,
+    staleness_alpha: float | None = None,
 ) -> "OrderedDict[str, np.ndarray]":
-    """Aggregate updates; plain mean by default (paper §4.2)."""
+    """Aggregate updates; plain mean by default (paper §4.2).
+
+    ``staleness_alpha`` enables staleness-aware down-weighting for
+    buffered-async rounds — see :func:`update_weights`.
+    """
     if not updates:
         raise ValueError("cannot aggregate an empty update list")
-    weights = [float(u.num_samples) for u in updates] if sample_weighted else None
+    weights = update_weights(updates, sample_weighted, staleness_alpha)
     if weights is not None:
         total = float(sum(weights))
         if total <= 0:
@@ -272,7 +307,8 @@ def aggregate_updates(
 def aggregate_updates_reference(
     updates: list[ModelUpdate],
     sample_weighted: bool = False,
+    staleness_alpha: float | None = None,
 ) -> "OrderedDict[str, np.ndarray]":
     """Retained per-parameter implementation of :func:`aggregate_updates`."""
-    weights = [float(u.num_samples) for u in updates] if sample_weighted else None
+    weights = update_weights(updates, sample_weighted, staleness_alpha)
     return aggregate_states_reference([u.state for u in updates], weights)

@@ -18,9 +18,16 @@ def model_accuracy(
     state: dict,
     dataset: ArrayDataset,
     model_fn: Callable[[np.random.Generator], Module],
+    model: Module | None = None,
 ) -> float:
-    """Accuracy of a model *state* on a dataset (builds a scratch replica)."""
-    model = model_fn(rng_from_seed(0))
+    """Accuracy of a model *state* on a dataset.
+
+    Pass a reusable ``model`` replica to skip the scratch-model construction;
+    its weights are overwritten by ``state``.  Without one, a fresh replica is
+    built from ``model_fn`` (the original per-call behaviour).
+    """
+    if model is None:
+        model = model_fn(rng_from_seed(0))
     model.load_state_dict(state)
     return evaluate_accuracy(model, dataset)
 
@@ -29,8 +36,13 @@ def per_client_accuracies(
     state: dict,
     clients: list[ClientDataset],
     model_fn: Callable[[np.random.Generator], Module],
+    model: Module | None = None,
 ) -> dict[int, float]:
-    """Global-model accuracy on each client's local test data (Figure 6)."""
-    model = model_fn(rng_from_seed(0))
+    """Global-model accuracy on each client's local test data (Figure 6).
+
+    Like :func:`model_accuracy`, accepts a reusable evaluation ``model``.
+    """
+    if model is None:
+        model = model_fn(rng_from_seed(0))
     model.load_state_dict(state)
     return {client.client_id: evaluate_accuracy(model, client.test) for client in clients}

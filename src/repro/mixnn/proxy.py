@@ -183,6 +183,25 @@ class MixNNProxy:
         self._store(update)
         return emitted
 
+    def resize(self, k: int) -> None:
+        """Re-size the layer lists between rounds (churn adaptation).
+
+        Under client churn the surviving cohort varies per round; a proxy
+        configured for full-round buffering must follow it so the §4.2 case
+        ``L = C`` keeps holding for whatever subset actually arrives.  Only
+        legal while the lists are drained (i.e. after :meth:`flush`) — a
+        resize must never drop or duplicate a buffered layer piece.
+        """
+        if k < 1:
+            raise ValueError(f"list capacity k must be >= 1, got {k}")
+        if self.pending() > 0:
+            raise RuntimeError(
+                f"cannot resize with {self.pending()} updates still buffered; flush first"
+            )
+        self.k = k
+        if self._units is not None:
+            self._lists = OrderedDict((i, ObliviousList(k)) for i in range(len(self._units)))
+
     def flush(self) -> list[ModelUpdate]:
         """Drain the layer lists at the end of a round.
 

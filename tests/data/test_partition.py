@@ -7,6 +7,8 @@ from repro.data.base import ArrayDataset, ClientDataset
 from repro.data.partition import (
     background_subset,
     clients_by_attribute,
+    dirichlet_clients,
+    dirichlet_partition,
     k_fold_clients,
     merge_clients,
 )
@@ -96,3 +98,74 @@ class TestMergeAndGroup:
         assert sum(len(v) for v in grouped.values()) == 7
         for attribute, members in grouped.items():
             assert all(c.attribute == attribute for c in members)
+
+
+class TestDirichletPartition:
+    def labels(self, n=600, classes=5):
+        return rng_from_seed(1).integers(0, classes, n)
+
+    def test_partition_is_exact(self):
+        """Every sample lands in exactly one shard."""
+        labels = self.labels()
+        shards = dirichlet_partition(labels, 10, alpha=0.5, rng=rng_from_seed(0))
+        assert len(shards) == 10
+        joined = np.concatenate(shards)
+        assert len(joined) == len(labels)
+        assert len(np.unique(joined)) == len(labels)
+
+    def test_min_samples_floor(self):
+        labels = self.labels()
+        shards = dirichlet_partition(
+            labels, 12, alpha=0.05, rng=rng_from_seed(0), min_samples_per_client=3
+        )
+        assert min(len(shard) for shard in shards) >= 3
+
+    def test_small_alpha_skews_label_distributions(self):
+        """α=0.1 concentrates classes; α=100 approaches the IID mixture."""
+        labels = self.labels()
+        global_dist = np.bincount(labels, minlength=5) / len(labels)
+
+        def mean_tv_distance(alpha):
+            shards = dirichlet_partition(labels, 10, alpha=alpha, rng=rng_from_seed(0))
+            distances = []
+            for shard in shards:
+                local = np.bincount(labels[shard], minlength=5) / len(shard)
+                distances.append(0.5 * np.abs(local - global_dist).sum())
+            return float(np.mean(distances))
+
+        skewed = mean_tv_distance(0.1)
+        iid_like = mean_tv_distance(100.0)
+        assert skewed > iid_like + 0.1
+        assert iid_like < 0.15
+
+    def test_deterministic_given_rng_seed(self):
+        labels = self.labels()
+        a = dirichlet_partition(labels, 8, alpha=0.3, rng=rng_from_seed(5))
+        b = dirichlet_partition(labels, 8, alpha=0.3, rng=rng_from_seed(5))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_validation(self):
+        labels = self.labels(n=20)
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels, 0, alpha=0.5, rng=rng_from_seed(0))
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels, 4, alpha=0.0, rng=rng_from_seed(0))
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels, 30, alpha=0.5, rng=rng_from_seed(0))
+
+    def test_dirichlet_clients_structure(self):
+        rng = rng_from_seed(2)
+        pool = ArrayDataset(rng.standard_normal((300, 4)), rng.integers(0, 4, 300))
+        clients = dirichlet_clients(pool, 6, alpha=0.2, rng=rng_from_seed(0))
+        assert len(clients) == 6
+        assert [c.client_id for c in clients] == list(range(6))
+        total = sum(len(c.train) + len(c.test) for c in clients)
+        assert total == 300
+        for client in clients:
+            assert len(client.train) >= 1 and len(client.test) >= 1
+            # the attribute is the dominant local label
+            combined = np.concatenate([client.train.labels, client.test.labels])
+            counts = np.bincount(combined, minlength=4)
+            assert client.attribute == int(counts.argmax())
+            assert client.metadata["dirichlet_alpha"] == 0.2

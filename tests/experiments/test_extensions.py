@@ -5,10 +5,14 @@ import pytest
 
 from repro.experiments.extensions import (
     EXTENDED_DEFENSES,
+    SCENARIO_SCHEMES,
+    make_scenario,
     render_defense_comparison,
+    render_scenario_comparison,
     run_defense_comparison,
     run_passive_vs_active,
     run_relink_robustness,
+    run_scenario_comparison,
 )
 
 
@@ -58,6 +62,37 @@ class TestPassiveVsActive:
         curves = run_passive_vs_active("motionsense", rounds=2)
         assert set(curves) == {"passive", "active"}
         assert all(len(curve) == 2 for curve in curves.values())
+
+
+class TestScenarioComparison:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_scenario_comparison("motionsense", rounds=2, dropout=0.2)
+
+    def test_one_row_per_scheme(self, rows):
+        assert [row.scheme for row in rows] == list(SCENARIO_SCHEMES)
+
+    def test_metrics_in_range(self, rows):
+        for row in rows:
+            assert 0.0 <= row.final_accuracy <= 1.0
+            assert row.mean_round_duration >= 0.0
+            assert row.mean_aggregated >= 1.0
+
+    def test_deadline_round_is_no_slower_than_full_wait(self, rows):
+        by_name = {row.scheme: row for row in rows}
+        assert (
+            by_name["sync-deadline"].mean_round_duration
+            <= by_name["sync-full"].mean_round_duration + 1e-9
+        )
+
+    def test_make_scenario_rejects_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            make_scenario("fedsgd", 0.2, 16)
+
+    def test_render(self, rows):
+        text = render_scenario_comparison(rows)
+        assert "buffered-async" in text
+        assert "mean round secs" in text
 
 
 class TestRelinkRobustness:

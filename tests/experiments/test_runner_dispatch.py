@@ -42,3 +42,18 @@ class TestDispatch:
     def test_system_ignores_dataset(self, recorded):
         runner.main(["system", "--dataset", "all"])
         assert recorded == [("system", "-", "ci", 0)]
+
+    def test_dataset_typo_fails_at_argparse_time(self, recorded, capsys):
+        """A typo like 'cifr10' must die with a usage error, not a KeyError."""
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["figure5", "--dataset", "cifr10"])
+        assert excinfo.value.code == 2
+        assert "cifr10" in capsys.readouterr().err
+        assert recorded == []  # no experiment was attempted
+
+    def test_every_registry_dataset_is_a_valid_choice(self, recorded):
+        from repro.data import DATASETS
+
+        for dataset in DATASETS:
+            assert runner.main(["figure5", "--dataset", dataset]) == 0
+        assert [call[1] for call in recorded] == list(DATASETS)

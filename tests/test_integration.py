@@ -57,14 +57,14 @@ def three_scheme_results(tiny_motionsense, keypair):
 
 class TestHeadlineClaims:
     def test_fl_leaks_attribute(self, three_scheme_results, tiny_motionsense):
-        final = three_scheme_results["fl"].inference_curve()[-1]
+        final = three_scheme_results["fl"].inference_values()[-1]
         # The tiny fixture shrinks both local data and background knowledge,
         # so the leak is weaker than the full-scale run's ~1.0 — but it must
         # clearly beat the coin flip.
         assert final >= tiny_motionsense.random_guess_accuracy + 0.15
 
     def test_mixnn_blocks_attribute_inference(self, three_scheme_results, tiny_motionsense):
-        final = np.mean(three_scheme_results["mixnn"].inference_curve())
+        final = np.mean(three_scheme_results["mixnn"].inference_values())
         assert abs(final - tiny_motionsense.random_guess_accuracy) <= 0.2
 
     def test_mixnn_preserves_utility_exactly(self, three_scheme_results):
@@ -73,9 +73,9 @@ class TestHeadlineClaims:
         np.testing.assert_allclose(fl, mixnn, atol=1e-3)
 
     def test_privacy_ordering(self, three_scheme_results):
-        fl = np.mean(three_scheme_results["fl"].inference_curve())
-        noisy = np.mean(three_scheme_results["noisy"].inference_curve())
-        mixnn = np.mean(three_scheme_results["mixnn"].inference_curve())
+        fl = np.mean(three_scheme_results["fl"].inference_values())
+        noisy = np.mean(three_scheme_results["noisy"].inference_values())
+        mixnn = np.mean(three_scheme_results["mixnn"].inference_values())
         assert fl >= noisy >= mixnn - 0.1
 
     def test_final_states_match_between_fl_and_mixnn(self, three_scheme_results):
@@ -88,12 +88,12 @@ class TestHeadlineClaims:
 class TestPassiveAdversary:
     def test_passive_attack_still_leaks_under_fl(self, tiny_motionsense, keypair):
         result = run_mini(tiny_motionsense, NoDefense(), keypair, attack_mode="passive")
-        assert result.inference_curve()[-1] > tiny_motionsense.random_guess_accuracy
+        assert result.inference_values()[-1] > tiny_motionsense.random_guess_accuracy
 
     def test_active_at_least_as_strong_as_passive(self, tiny_motionsense, keypair):
         passive = run_mini(tiny_motionsense, NoDefense(), keypair, attack_mode="passive")
         active = run_mini(tiny_motionsense, NoDefense(), keypair, attack_mode="active")
-        assert np.mean(active.inference_curve()) >= np.mean(passive.inference_curve()) - 0.1
+        assert np.mean(active.inference_values()) >= np.mean(passive.inference_values()) - 0.1
 
 
 class TestNeighborAnalysis:
@@ -123,5 +123,5 @@ class TestCIFAR10Integration:
             keypair,
             rounds=2,
         )
-        assert fl.inference_curve()[-1] > 0.6  # 3-way guess is 0.4 (8/20)
-        assert mixnn.inference_curve()[-1] <= 0.6
+        assert fl.inference_values()[-1] > 0.6  # 3-way guess is 0.4 (8/20)
+        assert mixnn.inference_values()[-1] <= 0.6
