@@ -196,6 +196,43 @@ def scenario_round_throughput(repeats: int) -> dict:
     return sweep
 
 
+def deadline_throughput_frontier() -> list[dict]:
+    """The measured deadline-vs-throughput frontier on the event stream.
+
+    One miniature run per (scheme, knob) point of
+    :func:`repro.experiments.extensions.frontier_points` (the same sweep and
+    row schema the runner's ``frontier`` command reports, so snapshots never
+    drift from the experiment); ``total_simulated_seconds`` and
+    ``merged_per_simulated_sec`` come from the virtual-time engine's
+    flush/arrival timestamps (measured), not from closed-form expectations.
+    Deterministic, so a single run per point is exact — no timing repeats.
+    """
+    from repro.data import SyntheticMotionSense
+    from repro.experiments.extensions import frontier_points, frontier_row, make_scenario
+    from repro.experiments.models import model_fn_for
+    from repro.federated import FederatedSimulation, LocalTrainingConfig, SimulationConfig
+
+    rows = []
+    for scheme, knob, overrides in frontier_points():
+        dataset = SyntheticMotionSense(
+            seed=0,
+            windows_per_activity=4,
+            test_windows_per_activity=1,
+            background_subjects_per_gender=2,
+        )
+        scenario = make_scenario(scheme, SCENARIO_DROPOUT, dataset.num_clients, **overrides)
+        config = SimulationConfig(
+            rounds=SCENARIO_ROUNDS,
+            local=LocalTrainingConfig(local_epochs=1, batch_size=64),
+            seed=0,
+            track_per_client_accuracy=False,
+            scenario=scenario,
+        )
+        result = FederatedSimulation(dataset, model_fn_for(dataset), config).run()
+        rows.append(frontier_row(scheme, knob, result).as_row())
+    return rows
+
+
 def collect(repeats: int) -> dict:
     from repro.experiments.system_perf import run_system_perf
     from repro.federated.update import aggregate_updates, aggregate_updates_reference
@@ -238,6 +275,7 @@ def collect(repeats: int) -> dict:
     }
     results["round_throughput"] = round_throughput(model, repeats)
     results["scenario_round_throughput"] = scenario_round_throughput(repeats)
+    results["deadline_throughput_frontier"] = deadline_throughput_frontier()
     perf = run_system_perf()
     results["system_perf"] = {
         section: [row.__dict__ for row in rows] for section, rows in perf.items()

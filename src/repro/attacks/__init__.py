@@ -9,6 +9,7 @@ from .reconstruction import (
     neighbor_counts,
     pairwise_distances,
 )
+from .timing import TimingAttackReport, TimingSideChannel
 
 __all__ = [
     "GradSimAttack",
@@ -23,4 +24,6 @@ __all__ = [
     "MembershipAttack",
     "MembershipReport",
     "per_sample_losses",
+    "TimingSideChannel",
+    "TimingAttackReport",
 ]

@@ -8,7 +8,7 @@ substitution rationale.
 
 from .base import ArrayDataset, ClientDataset, DataLoader, train_test_split
 from .cifar10 import PREFERENCE_GROUPS, SyntheticCIFAR10
-from .federated import FederatedDataset
+from .federated import DirichletReshard, FederatedDataset
 from .lfw import SyntheticLFW
 from .motion import ACTIVITIES, SyntheticMobiAct, SyntheticMotionSense
 from .partition import (
@@ -26,6 +26,7 @@ __all__ = [
     "DataLoader",
     "train_test_split",
     "FederatedDataset",
+    "DirichletReshard",
     "SyntheticCIFAR10",
     "PREFERENCE_GROUPS",
     "SyntheticMotionSense",

@@ -9,6 +9,18 @@ Regenerate any table or figure of the paper::
 
 Each command prints the measured rows/series next to the paper's claims and
 the qualitative shape checks.
+
+Beyond the paper, the scenario-engine studies run on the virtual-time round
+engine::
+
+    python -m repro.experiments.runner scenario --dropout 0.3 --deadline 2.0
+    python -m repro.experiments.runner scenario --scheme buffered-async --buffer-fraction 0.5
+    python -m repro.experiments.runner frontier --rounds 5
+    python -m repro.experiments.runner dirichlet-churn --alphas 10,0.3
+
+All scenario knobs (churn probability, latency shape, aggregation scheme,
+deadline, buffer fraction) are validated at argparse time — a bad value dies
+with a usage error before any training starts, exactly like ``--dataset``.
 """
 
 from __future__ import annotations
@@ -20,9 +32,12 @@ from ..data import DATASETS
 from . import figure5, figure6, figure7, figure8, figure9, system_perf
 from .reporting import PAPER_CLAIMS
 
-__all__ = ["main", "run_experiment"]
+__all__ = ["main", "run_experiment", "run_scenario_experiment"]
 
 EXPERIMENTS = ("figure5", "figure6", "figure7", "figure8", "figure9", "system")
+#: virtual-time scenario studies (not part of ``all``, which regenerates the
+#: paper's figures only)
+SCENARIO_EXPERIMENTS = ("scenario", "frontier", "dirichlet-churn")
 
 
 def _render_checks(checks: dict[str, bool]) -> str:
@@ -57,9 +72,130 @@ def run_experiment(name: str, dataset: str, scale: str, seed: int) -> str:
     return "\n".join(lines)
 
 
+def run_scenario_experiment(name: str, args: argparse.Namespace) -> str:
+    """Run one virtual-time scenario study; return the printed report."""
+    from . import extensions
+
+    lines = [
+        f"== {name} / {args.dataset} (scale={args.scale}, seed={args.seed}, "
+        f"dropout={args.dropout}) =="
+    ]
+    if name == "scenario":
+        schemes = (
+            extensions.SCENARIO_SCHEMES if args.scheme == "all" else (args.scheme,)
+        )
+        rows = extensions.run_scenario_comparison(
+            args.dataset,
+            scale=args.scale,
+            seed=args.seed,
+            rounds=args.rounds if args.rounds is not None else 5,
+            dropout=args.dropout,
+            deadline=args.deadline,
+            buffer_fraction=args.buffer_fraction,
+            staleness_alpha=args.staleness_alpha,
+            latency_median=args.latency_median,
+            straggler_fraction=args.straggler_fraction,
+            schemes=schemes,
+        )
+        lines.append(extensions.render_scenario_comparison(rows))
+    elif name == "frontier":
+        rows = extensions.run_deadline_throughput_frontier(
+            args.dataset,
+            scale=args.scale,
+            seed=args.seed,
+            rounds=args.rounds if args.rounds is not None else 5,
+            dropout=args.dropout,
+            deadlines=args.deadlines,
+            buffer_fractions=args.buffer_fractions,
+            staleness_alpha=args.staleness_alpha,
+            latency_median=args.latency_median,
+            straggler_fraction=args.straggler_fraction,
+        )
+        lines.append(extensions.render_frontier(rows))
+    elif name == "dirichlet-churn":
+        cells = extensions.run_dirichlet_churn_matrix(
+            args.dataset,
+            scale=args.scale,
+            seed=args.seed,
+            rounds=args.rounds if args.rounds is not None else 4,
+            alphas=args.alphas,
+            dropout=args.dropout,
+        )
+        lines.append(extensions.render_dirichlet_churn_matrix(cells))
+    else:
+        raise KeyError(
+            f"unknown scenario experiment {name!r}; choose from {SCENARIO_EXPERIMENTS}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Argparse-time validation (bad values die with a usage error, not a
+# traceback deep inside a training loop)
+# ----------------------------------------------------------------------
+def _probability(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value < 1.0:
+        raise argparse.ArgumentTypeError(f"must be a probability in [0, 1), got {text}")
+    return value
+
+
+def _fraction(text: str) -> float:
+    value = float(text)
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be a fraction in (0, 1], got {text}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0.0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
+
+
+def _positive_list(label: str):
+    def parse(text: str) -> tuple[float, ...]:
+        try:
+            values = tuple(float(part) for part in text.split(",") if part.strip())
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"expected comma-separated floats, got {text!r}")
+        if not values or any(value <= 0 for value in values):
+            raise argparse.ArgumentTypeError(f"{label} must be > 0, got {text!r}")
+        return values
+
+    return parse
+
+
+def _fraction_list(label: str):
+    def parse(text: str) -> tuple[float, ...]:
+        values = _positive_list(label)(text)
+        if any(value > 1.0 for value in values):
+            raise argparse.ArgumentTypeError(f"{label} must be in (0, 1], got {text!r}")
+        return values
+
+    return parse
+
+
 def main(argv: list[str] | None = None) -> int:
+    from .extensions import SCENARIO_SCHEMES
+
     parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("experiment", choices=EXPERIMENTS + ("all",))
+    parser.add_argument("experiment", choices=EXPERIMENTS + SCENARIO_EXPERIMENTS + ("all",))
     # Validating against the registry here turns a typo like "cifr10" into an
     # immediate argparse error instead of a deep KeyError in build_experiment.
     parser.add_argument(
@@ -70,7 +206,91 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--scale", default="ci", choices=("ci", "paper"))
     parser.add_argument("--seed", type=int, default=0)
+
+    from .extensions import FRONTIER_BUFFER_FRACTIONS, FRONTIER_DEADLINES
+
+    scenario = parser.add_argument_group(
+        "scenario knobs", "consumed by the scenario / frontier / dirichlet-churn commands"
+    )
+    scenario.add_argument(
+        "--rounds",
+        type=_positive_int,
+        default=None,
+        help="learning rounds, all scenario commands (default per command)",
+    )
+    scenario.add_argument(
+        "--dropout",
+        type=_probability,
+        default=0.2,
+        help="per-(client, round) churn probability, all scenario commands",
+    )
+    scenario.add_argument(
+        "--scheme",
+        default="all",
+        choices=SCENARIO_SCHEMES + ("all",),
+        help="round-closure scheme(s), scenario command",
+    )
+    scenario.add_argument(
+        "--deadline",
+        type=_positive_float,
+        default=2.5,
+        help="sync-deadline round cutoff in simulated seconds, scenario command",
+    )
+    scenario.add_argument(
+        "--buffer-fraction",
+        type=_fraction,
+        default=0.6,
+        help="buffered-async flush threshold as a cohort fraction, scenario command",
+    )
+    scenario.add_argument(
+        "--deadlines",
+        type=_positive_list("deadlines"),
+        default=FRONTIER_DEADLINES,
+        help="comma-separated deadline sweep in seconds, frontier command",
+    )
+    scenario.add_argument(
+        "--buffer-fractions",
+        type=_fraction_list("buffer fractions"),
+        default=FRONTIER_BUFFER_FRACTIONS,
+        help="comma-separated buffer-fraction sweep, frontier command",
+    )
+    scenario.add_argument(
+        "--staleness-alpha",
+        type=_nonnegative_float,
+        default=0.5,
+        help="polynomial staleness discount exponent, scenario/frontier commands",
+    )
+    scenario.add_argument(
+        "--latency-median",
+        type=_positive_float,
+        default=1.0,
+        help="median simulated round-trip seconds, scenario/frontier commands",
+    )
+    scenario.add_argument(
+        "--straggler-fraction",
+        type=_probability,
+        default=0.15,
+        help="heavy straggler tail fraction, scenario/frontier commands",
+    )
+    scenario.add_argument(
+        "--alphas",
+        type=_positive_list("Dirichlet alphas"),
+        default=(10.0, 0.3),
+        help="comma-separated Dirichlet alphas, dirichlet-churn command (IID-ish first)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment in SCENARIO_EXPERIMENTS:
+        if args.dataset == "all":
+            # the paper-figure path expands "all"; the scenario studies run
+            # one dataset — reject here so it stays a usage error, not a
+            # KeyError deep inside build_experiment
+            parser.error(
+                f"{args.experiment} runs a single dataset; pass --dataset "
+                f"{'|'.join(sorted(DATASETS))}"
+            )
+        print(run_scenario_experiment(args.experiment, args))
+        return 0
 
     experiments = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     datasets = tuple(DATASETS) if args.dataset == "all" else (args.dataset,)

@@ -7,6 +7,15 @@ from .client import (
     evaluate_accuracy,
     train_locally,
 )
+from .events import (
+    BufferedFlushPolicy,
+    BufferFlush,
+    ClientUpdateArrival,
+    EventScheduler,
+    FlushPolicy,
+    RoundDeadline,
+    SyncFlushPolicy,
+)
 from .flat import FlatState, FlatUpdateBatch, row_norms, unit_columns
 from .scenario import (
     AlwaysAvailable,
@@ -57,6 +66,13 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "RoundRecord",
+    "EventScheduler",
+    "ClientUpdateArrival",
+    "RoundDeadline",
+    "BufferFlush",
+    "FlushPolicy",
+    "SyncFlushPolicy",
+    "BufferedFlushPolicy",
     "ScenarioConfig",
     "ClientAvailability",
     "AlwaysAvailable",

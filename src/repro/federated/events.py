@@ -1,0 +1,193 @@
+"""Virtual-time discrete-event scheduler for the wall-clock round engine.
+
+The scenario engine of :mod:`repro.federated.scenario` models *who* shows up
+and *how slow* they are; this module models *when*.  A federation run is a
+stream of timestamped events on one virtual clock:
+
+* :class:`ClientUpdateArrival` — a dispatched client's training finishes and
+  its update reaches the server at ``dispatch_time + latency``;
+* :class:`RoundDeadline` — the server's timer for the current round fires;
+* :class:`BufferFlush` — the round's flush condition (all expected arrivals,
+  or the K-th arrival of a FedBuff-style buffer) has been met.
+
+The server consumes arrivals **in time order** — not in client-index order —
+and the three round-closure schemes become three *flush policies* over the
+same event stream:
+
+==================  =====================================================
+``sync``            flush when every dispatched client has arrived
+``sync`` + deadline flush at ``T`` if anyone is still outstanding
+``buffered-async``  flush on the K-th buffered arrival (deadline optional)
+==================  =====================================================
+
+Determinism contract
+--------------------
+Event times are pure functions of ``(seed, client_id, round)`` (the scenario
+models' contract), and ties are broken by ``(time, priority, seq)`` where
+``seq`` is the deterministic insertion index.  Heap order therefore never
+depends on wall-clock execution, thread scheduling, or ``parallelism`` — the
+same seed always yields the same event trace.  At equal timestamps a
+:class:`BufferFlush` sorts first (the round closes before same-instant
+arrivals from other rounds leak in), an arrival sorts before a
+:class:`RoundDeadline` (an update landing exactly at ``T`` is on time), and
+equal-time arrivals pop in insertion order (client order) — which is what
+keeps the default no-latency scenario bit-identical to the legacy barrier
+loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Event",
+    "ClientUpdateArrival",
+    "RoundDeadline",
+    "BufferFlush",
+    "EventScheduler",
+    "FlushPolicy",
+    "SyncFlushPolicy",
+    "BufferedFlushPolicy",
+]
+
+
+# Tie-break ranks at equal timestamps (see module docstring).
+_PRIORITY_FLUSH = 0
+_PRIORITY_ARRIVAL = 1
+_PRIORITY_DEADLINE = 2
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base timestamped event; subclasses define their tie-break priority."""
+
+    time: float
+    priority: int = field(init=False, default=_PRIORITY_ARRIVAL, repr=False)
+
+
+@dataclass(frozen=True)
+class ClientUpdateArrival(Event):
+    """A client's trained update reaches the server.
+
+    ``time = dispatch_time + latency``; the :class:`~repro.federated.update.
+    ModelUpdate` payload is attached by the round engine after training (the
+    event's identity and ordering never depend on the payload).
+    """
+
+    client_id: int = -1
+    origin_round: int = -1
+    dispatch_time: float = 0.0
+    latency: float = 0.0
+    update: object = field(default=None, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "priority", _PRIORITY_ARRIVAL)
+
+
+@dataclass(frozen=True)
+class RoundDeadline(Event):
+    """The server's round timer fires at ``round_start + deadline``."""
+
+    round_index: int = -1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "priority", _PRIORITY_DEADLINE)
+
+
+@dataclass(frozen=True)
+class BufferFlush(Event):
+    """The round's flush condition was met at ``time`` (close immediately)."""
+
+    round_index: int = -1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "priority", _PRIORITY_FLUSH)
+
+
+class EventScheduler:
+    """Deterministic min-heap of events on one monotonic virtual clock.
+
+    ``pop`` advances :attr:`now` to the popped event's timestamp; the clock
+    never runs backwards (events scheduled in the past pop "immediately", at
+    the current time).  Ties are broken by ``(priority, seq)`` — ``seq`` is
+    the global insertion index, so equal-time, equal-priority events pop in
+    the order they were scheduled.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __repr__(self) -> str:
+        return f"EventScheduler(now={self.now:.3f}, pending={len(self._heap)})"
+
+    def schedule(self, event: Event) -> None:
+        """Queue an event; insertion order is the final tie-breaker."""
+        heapq.heappush(self._heap, (event.time, event.priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> Event | None:
+        """The next event without popping it, or ``None`` when drained."""
+        return self._heap[0][3] if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock."""
+        if not self._heap:
+            raise IndexError("pop from an empty event scheduler")
+        time, _, _, event = heapq.heappop(self._heap)
+        if time > self.now:
+            self.now = time
+        return event
+
+    def pending_arrivals(self) -> list[ClientUpdateArrival]:
+        """Arrival events still queued (in-transit updates), in heap order."""
+        return sorted(
+            (entry[3] for entry in self._heap if isinstance(entry[3], ClientUpdateArrival)),
+            key=lambda e: e.time,
+        )
+
+
+# ----------------------------------------------------------------------
+# Flush policies: when does the current round close?
+# ----------------------------------------------------------------------
+class FlushPolicy:
+    """Decides, per buffered arrival, whether the round's flush fires now.
+
+    A policy sees only counts — how many updates are buffered and how many
+    dispatched clients could still arrive — so the decision is independent of
+    payload contents and execution order.
+    """
+
+    def should_flush(self, buffered: int, outstanding: int) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SyncFlushPolicy(FlushPolicy):
+    """Flush when every dispatched client has arrived (``outstanding == 0``).
+
+    ``expected_absent`` counts dispatched clients that will *never* arrive
+    this round (sync-mode stragglers beyond the deadline): while any exist
+    the all-arrived condition is unreachable and the round can only close at
+    its :class:`RoundDeadline`.
+    """
+
+    expected_absent: int = 0
+
+    def should_flush(self, buffered: int, outstanding: int) -> bool:
+        return outstanding <= 0 and self.expected_absent == 0
+
+
+@dataclass(frozen=True)
+class BufferedFlushPolicy(FlushPolicy):
+    """FedBuff-style: flush on the K-th buffered arrival."""
+
+    buffer_size: int
+
+    def should_flush(self, buffered: int, outstanding: int) -> bool:
+        return buffered >= self.buffer_size

@@ -166,12 +166,22 @@ class LogNormalLatency(LatencyModel):
     ``straggler_fraction`` of (client, round) pairs additionally multiply
     their draw by ``straggler_multiplier`` — the bimodal "phone went to the
     pocket" tail that deadline-based cutting is designed for.
+
+    ``client_spread`` adds a *systematic* per-client speed factor
+    ``exp(client_spread · z_c)`` with ``z_c ~ N(0, 1)`` drawn once per client
+    (a pure function of ``(seed, client_id)``): real fleets mix fast and slow
+    devices whose relative speed persists across rounds.  This is exactly the
+    component a timing side-channel adversary
+    (:class:`~repro.attacks.timing.TimingSideChannel`) can profile — with the
+    default ``0.0`` every draw is i.i.d. across rounds and arrival order
+    carries no identity signal.
     """
 
     median: float = 1.0
     sigma: float = 0.5
     straggler_fraction: float = 0.0
     straggler_multiplier: float = 10.0
+    client_spread: float = 0.0
 
     def __post_init__(self) -> None:
         if self.median <= 0:
@@ -186,12 +196,17 @@ class LogNormalLatency(LatencyModel):
             raise ValueError(
                 f"straggler_multiplier must be >= 1, got {self.straggler_multiplier}"
             )
+        if self.client_spread < 0:
+            raise ValueError(f"client_spread must be >= 0, got {self.client_spread}")
 
     def latency(self, seed: int, client_id: int, round_index: int) -> float:
         rng = rng_from_seed(stable_seed(seed, "latency", client_id, round_index))
         value = self.median * math.exp(self.sigma * float(rng.standard_normal()))
         if self.straggler_fraction and float(rng.random()) < self.straggler_fraction:
             value *= self.straggler_multiplier
+        if self.client_spread:
+            speed_rng = rng_from_seed(stable_seed(seed, "client-speed", client_id))
+            value *= math.exp(self.client_spread * float(speed_rng.standard_normal()))
         return float(value)
 
 

@@ -18,10 +18,29 @@ moves the round loop from the paper's idealized synchronous flow to a
 production regime: per-round client churn (availability models), stragglers
 cut by a deadline (latency models), and FedBuff-style buffered-async
 aggregation where the server merges the first ``buffer_size`` arrivals and
-late updates land in later rounds down-weighted by their staleness.  With no
-scenario configured the round loop takes exactly the legacy code path, and
-every scenario decision is a pure function of ``(seed, client_id, round)``,
-so results remain bit-identical across ``parallelism`` settings.
+late updates land in later rounds down-weighted by their staleness.
+
+Virtual-time round engine
+-------------------------
+Scenario rounds execute as a discrete-event simulation over one persistent
+virtual clock (:mod:`repro.federated.events`): each dispatched client's
+update arrives at ``dispatch_time + latency``, the server consumes arrivals
+*in time order*, and the three round-closure schemes are three flush
+policies over the same event stream — sync waits for every dispatched
+client, a deadline closes the round at ``T`` while anyone is outstanding,
+and buffered-async closes on the K-th buffered arrival.  Round durations,
+arrival timestamps, idle fractions, and throughput are therefore *measured*
+on the event stream rather than inferred from bookkeeping, and in-flight
+async updates genuinely stay in transit (their arrival events survive the
+round boundary and pop whenever the clock reaches them).
+
+With no scenario configured the round loop takes exactly the legacy barrier
+code path (bit-identical, regression-tested), and every scenario decision is
+a pure function of ``(seed, client_id, round)`` with deterministic event
+tie-breaking, so results remain bit-identical across ``parallelism``
+settings.  Local training always runs through the flat-plane thread pool
+before its arrival events are scheduled — virtual time orders the *arrivals*,
+not the training computation.
 """
 
 from __future__ import annotations
@@ -43,6 +62,15 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
 from ..nn import Module
 from ..utils.rng import rng_from_seed, stable_seed
 from .client import FederatedClient, LocalTrainingConfig
+from .events import (
+    BufferedFlushPolicy,
+    BufferFlush,
+    ClientUpdateArrival,
+    EventScheduler,
+    FlushPolicy,
+    RoundDeadline,
+    SyncFlushPolicy,
+)
 from .scenario import AlwaysAvailable, ScenarioConfig
 from .server import AggregationServer
 from .update import ModelUpdate
@@ -120,8 +148,27 @@ class RoundRecord:
     num_stale: int = 0
     #: in-flight updates discarded for exceeding max_staleness
     num_discarded: int = 0
-    #: simulated wall-clock seconds from broadcast to aggregation
+    #: simulated wall-clock seconds from broadcast to aggregation, measured
+    #: on the event stream (flush time − round start)
     simulated_duration: float = 0.0
+    #: virtual-clock timestamp at which this round's broadcast went out
+    round_start: float = 0.0
+    #: ``(sender_id, absolute arrival time)`` of every merged update, in the
+    #: order the server consumed them (time order) — the observable event
+    #: stream a timing side-channel adversary sees
+    arrival_times: list[tuple[int, float]] = field(default_factory=list)
+    #: true dispatch→arrival span of each merged update, aligned with
+    #: ``arrival_times``.  For a stale buffered-async arrival this covers the
+    #: full transit from *its* broadcast, not just the residual wait in the
+    #: round that finally merged it.
+    merged_latencies: list[float] = field(default_factory=list)
+    #: fraction of the round during which the average merged participant sat
+    #: idle after uploading (waiting for the round to close); 0 under the
+    #: legacy barrier flow
+    idle_fraction: float = 0.0
+    #: merged updates per simulated second (0 when the round took no
+    #: simulated time, i.e. no latency model was configured)
+    effective_throughput: float = 0.0
 
 
 @dataclass
@@ -155,6 +202,40 @@ class SimulationResult:
     def inference_values(self) -> list[float]:
         """Just the measured attack-accuracy values, in round order."""
         return [value for _, value in self.inference_curve()]
+
+    def _round_timing(self):
+        """One shared definition of the run-level wall-clock aggregates —
+        delegating keeps these methods and the frontier/benchmark tables
+        (which use :func:`~repro.metrics.latency.summarize_round_timing`
+        directly) from ever drifting apart."""
+        from ..metrics.latency import summarize_round_timing
+
+        return summarize_round_timing(self.rounds)
+
+    def total_simulated_seconds(self) -> float:
+        """Virtual-clock span of the whole run (rounds are contiguous)."""
+        return self._round_timing().total_seconds
+
+    def effective_throughput(self) -> float:
+        """Merged updates per simulated second over the whole run (0 if no
+        simulated time elapsed, e.g. without a latency model)."""
+        return self._round_timing().effective_throughput
+
+    def mean_idle_fraction(self) -> float:
+        """Mean per-round idle fraction over rounds that took simulated time."""
+        return self._round_timing().mean_idle_fraction
+
+    def arrival_log(self) -> list[tuple[int, int, float]]:
+        """Flattened ``(round_index, sender_id, arrival_time)`` event stream.
+
+        This is the adversary-observable timing trace consumed by
+        :class:`~repro.attacks.timing.TimingSideChannel`.
+        """
+        return [
+            (record.round_index, sender_id, arrival_time)
+            for record in self.rounds
+            for sender_id, arrival_time in record.arrival_times
+        ]
 
     def per_client_accuracy_at(self, round_index: int) -> dict[int, float]:
         """Per-client accuracies at a given round (Figure 6 uses round 6)."""
@@ -192,10 +273,11 @@ class FederatedSimulation:
         # The simulation owns its received-update history (the server keeps
         # none by default — see AggregationServer.retain_received).
         self._received_log: list[list[ModelUpdate]] = []
-        # Buffered-async backlog: updates dispatched but not yet aggregated,
-        # each as (origin_round, latency, client_id, update), kept in
-        # arrival order.
-        self._in_flight: list[tuple[int, float, int, ModelUpdate]] = []
+        # The persistent virtual clock: arrival/deadline/flush events live
+        # here across rounds, so buffered-async updates genuinely stay in
+        # transit over round boundaries (their events pop when the clock
+        # reaches them).  Only consulted when a scenario is configured.
+        self._scheduler = EventScheduler()
         # One evaluation replica per simulation: model_accuracy would
         # otherwise rebuild a scratch model from model_fn every round.
         self._eval_model: Module | None = None
@@ -276,20 +358,76 @@ class FederatedSimulation:
         return self._eval_model
 
     # ------------------------------------------------------------------
-    # Scenario engine
+    # Scenario engine (virtual-time, event-driven)
     # ------------------------------------------------------------------
+    def _replay_until_flush(
+        self, round_index: int, policy: FlushPolicy, expected: int
+    ) -> tuple[list[ClientUpdateArrival], float, int]:
+        """Consume events in time order until the round's flush fires.
+
+        Returns ``(merged, flush_time, discarded)``: the arrival events the
+        server buffered (in consumption = time order), the virtual-clock
+        timestamp at which the round closed, and how many arrivals were
+        discarded for exceeding ``max_staleness``.  ``expected`` is the
+        number of arrival events that can still pop this round (this round's
+        dispatches plus the async in-flight backlog).
+        """
+        scenario = self.config.scenario
+        scheduler = self._scheduler
+        merged: list[ClientUpdateArrival] = []
+        discarded = 0
+        deadline_lapsed = False
+        while True:
+            if len(scheduler) == 0:
+                # Nothing else can ever arrive: close at the current clock
+                # (buffered-async with fewer than K reachable arrivals).
+                return merged, scheduler.now, discarded
+            event = scheduler.pop()
+            if isinstance(event, ClientUpdateArrival):
+                staleness = round_index - event.origin_round
+                if scenario.max_staleness is not None and staleness > scenario.max_staleness:
+                    discarded += 1
+                else:
+                    merged.append(event)
+                outstanding = expected - len(merged) - discarded
+                if merged and (
+                    deadline_lapsed or policy.should_flush(len(merged), outstanding)
+                ):
+                    # Close *at this instant*: the flush outranks same-time
+                    # arrivals still in the heap, so exactly this buffer is
+                    # merged (FedBuff's "first K", sync's "all dispatched").
+                    scheduler.schedule(BufferFlush(time=event.time, round_index=round_index))
+            elif isinstance(event, BufferFlush):
+                if event.round_index == round_index:
+                    return merged, event.time, discarded
+            elif isinstance(event, RoundDeadline):
+                if event.round_index == round_index:
+                    if merged:
+                        return merged, event.time, discarded
+                    # The timer fired before anything arrived, but updates may
+                    # still be in transit — a server cannot aggregate nothing,
+                    # so the round stays open and closes at the very next
+                    # merged arrival instead (buffered-async corner; a sync
+                    # round always has at least one sub-deadline arriver).
+                    deadline_lapsed = True
+                # A deadline from an earlier round that closed before its
+                # timer fired: inert, skip it.
+
     def _scenario_round(
         self, broadcast_state: dict, round_index: int
     ) -> tuple[list[ModelUpdate], list[ModelUpdate], RoundRecord]:
-        """One churn/straggler/async round.
+        """One churn/straggler/async round on the virtual clock.
 
         Returns ``(arrivals, trained, stats)``: the updates the server will
         see this round (what the defense processes), the updates trained this
         round (for the local-loss metric), and a partially filled
-        :class:`RoundRecord` carrying the scenario counters.
+        :class:`RoundRecord` carrying the scenario counters and the measured
+        wall-clock fields.
         """
         scenario = self.config.scenario
         seed = self.config.seed
+        scheduler = self._scheduler
+        round_start = scheduler.now
         selected = self._select_clients()
         availability = scenario.availability or AlwaysAvailable()
         surviving = [
@@ -308,9 +446,13 @@ class FederatedSimulation:
             global_accuracy=float("nan"),
             num_selected=len(selected),
             num_dropped=len(selected) - len(surviving),
+            round_start=round_start,
         )
 
         if not scenario.is_async:
+            # Sync-mode stragglers can never be merged (the round closes at
+            # the deadline without them), so their training is skipped
+            # entirely — dropped work, exactly as under the legacy loop.
             if scenario.deadline is not None:
                 arrivers = [
                     client for client in surviving if latencies[client.client_id] <= scenario.deadline
@@ -330,67 +472,79 @@ class FederatedSimulation:
                     f"{deadline_part}; lower the dropout probability, extend the "
                     "deadline, or select more clients per round"
                 )
-            updates = self._train_clients(arrivers, broadcast_state, round_index)
-            for update in updates:
-                update.metadata["staleness"] = 0
-                update.metadata["origin_round"] = round_index
-                if latencies:
-                    update.metadata["latency"] = latencies[update.sender_id]
-            arrival_times = [latencies[u.sender_id] for u in updates] if latencies else []
-            stats.simulated_duration = max(arrival_times) if arrival_times else 0.0
-            return updates, updates, stats
+            to_train = arrivers
+            # The server knows dispatch failures (churn) immediately but not
+            # who will straggle: while stragglers are outstanding the
+            # all-arrived condition is unreachable and only the deadline
+            # timer closes the round.
+            policy: FlushPolicy = SyncFlushPolicy(expected_absent=stats.num_stragglers)
+        else:
+            to_train = surviving
+            policy = BufferedFlushPolicy(buffer_size=scenario.buffer_size)
 
-        # Buffered-async (FedBuff-style): merge the first K arrivals; every
-        # other dispatched update stays in flight for a later round.
-        trained = self._train_clients(surviving, broadcast_state, round_index)
-        fresh: list[tuple[int, float, int, ModelUpdate]] = []
+        # Train through the flat-plane thread pool *before* replaying virtual
+        # time: each update is a pure function of (client, round), so the
+        # event engine only decides when results arrive, never what they are.
+        trained = self._train_clients(to_train, broadcast_state, round_index)
+        in_flight = len(scheduler.pending_arrivals()) if scenario.is_async else 0
         for update in trained:
             latency = latencies.get(update.sender_id, 0.0)
             update.metadata["latency"] = latency
             update.metadata["origin_round"] = round_index
-            fresh.append((round_index, latency, update.sender_id, update))
-        fresh.sort(key=lambda item: (item[1], item[2]))  # arrival order within the round
-
+            update.metadata["dispatch_time"] = round_start
+            scheduler.schedule(
+                ClientUpdateArrival(
+                    time=round_start + latency,
+                    client_id=update.sender_id,
+                    origin_round=round_index,
+                    dispatch_time=round_start,
+                    latency=latency,
+                    update=update,
+                )
+            )
         if scenario.deadline is not None:
-            on_time = [item for item in fresh if item[1] <= scenario.deadline]
-            in_transit = [item for item in fresh if item[1] > scenario.deadline]
-        else:
-            on_time, in_transit = fresh, []
-        stats.num_stragglers = len(in_transit)
+            scheduler.schedule(
+                RoundDeadline(time=round_start + scenario.deadline, round_index=round_index)
+            )
 
-        # In-flight updates from earlier rounds reached the server first.
-        queue = list(self._in_flight) + on_time
-        discarded = 0
-        if scenario.max_staleness is not None:
-            kept = []
-            for item in queue:
-                if round_index - item[0] > scenario.max_staleness:
-                    discarded += 1
-                else:
-                    kept.append(item)
-            queue = kept
+        merged, flush_time, discarded = self._replay_until_flush(
+            round_index, policy, expected=len(trained) + in_flight
+        )
         stats.num_discarded = discarded
-
-        take = min(scenario.buffer_size, len(queue))
-        merged, leftover = queue[:take], queue[take:]
-        self._in_flight = leftover + in_transit
+        if scenario.is_async:
+            # This round's dispatches still in transit when the buffer
+            # flushed (they stay scheduled and land in a later round).
+            stats.num_stragglers = sum(
+                1 for e in scheduler.pending_arrivals() if e.origin_round == round_index
+            )
         if not merged:
             raise RuntimeError(
                 f"round {round_index}: the async buffer received no arrivals — "
                 f"{len(selected)} selected, {stats.num_dropped} dropped out, "
-                f"{len(in_transit)} still in transit, {discarded} discarded as too "
-                "stale, and nothing was left in flight; lower the dropout "
-                "probability or select more clients per round"
+                f"{len(scheduler.pending_arrivals())} still in transit, {discarded} "
+                "discarded as too stale, and nothing was left in flight; lower the "
+                "dropout probability or select more clients per round"
             )
+
         arrivals: list[ModelUpdate] = []
-        for origin_round, latency, _, update in merged:
-            staleness = round_index - origin_round
+        for event in merged:
+            update = event.update
+            staleness = round_index - event.origin_round
             update.metadata["staleness"] = staleness
+            update.metadata["arrival_time"] = event.time
             if staleness > 0:
                 stats.num_stale += 1
             arrivals.append(update)
-        last = merged[-1]
-        stats.simulated_duration = last[1] if last[0] == round_index else 0.0
+        duration = flush_time - round_start
+        stats.simulated_duration = duration
+        stats.arrival_times = [(e.client_id, e.time) for e in merged]
+        stats.merged_latencies = [e.latency for e in merged]
+        if duration > 0.0:
+            waits = [flush_time - e.time for e in merged]
+            stats.idle_fraction = float(np.mean(waits)) / duration
+            # effective_throughput is filled in run_round once num_aggregated
+            # (post-defense) is known, so the per-round and run-level numbers
+            # count the same thing even under streaming defenses.
         return arrivals, trained, stats
 
     def run_round(self) -> RoundRecord:
@@ -419,6 +573,8 @@ class FederatedSimulation:
             self._received_log.append(received)
 
         record.num_aggregated = len(received)
+        if record.simulated_duration > 0.0:
+            record.effective_throughput = record.num_aggregated / record.simulated_duration
         record.mean_local_loss = mean_loss
         record.global_accuracy = model_accuracy(
             new_state, self.dataset.global_test(), self.model_fn, model=self._evaluation_model

@@ -49,6 +49,8 @@ __all__ = [
     "aggregate_states_reference",
     "aggregate_updates",
     "aggregate_updates_reference",
+    "layerwise_staleness_mean",
+    "layerwise_staleness_mean_reference",
     "update_weights",
     "state_delta",
     "state_delta_reference",
@@ -280,6 +282,49 @@ def update_weights(
     return weights
 
 
+def layerwise_staleness_mean(
+    updates: list[ModelUpdate],
+    staleness_alpha: float,
+    sample_weighted: bool = False,
+) -> "OrderedDict[str, np.ndarray]":
+    """Staleness-weighted mean with *per-parameter* weights (MixNN passthrough).
+
+    A MixNN chimera is composed of layers from different source updates, each
+    with its own lateness; its ``param_staleness`` metadata (written by
+    :meth:`~repro.mixnn.proxy.MixNNProxy._compose`) maps each parameter name
+    to its source's staleness.  This aggregation discounts every parameter
+    span by its own ``(1 + s) ** -alpha`` weight — so a chimera whose conv
+    layer is fresh but whose head is three rounds old contributes fully in
+    the former and is down-weighted only in the latter.  Updates without the
+    metadata fall back to their scalar ``staleness`` uniformly, which makes
+    the result identical to :func:`aggregate_updates` for unmixed batches.
+    """
+    from .flat import flat_rows
+    from .scenario import staleness_weight
+
+    schema = schema_of(updates[0].state)
+    rows = flat_rows(updates, schema)
+    numerator = np.zeros(schema.total_size, dtype=np.float32)
+    denominator = np.zeros(schema.total_size, dtype=np.float32)
+    weight_row = np.empty(schema.total_size, dtype=np.float32)
+    for update, row in zip(updates, rows):
+        base = float(update.num_samples) if sample_weighted else 1.0
+        scalar = staleness_weight(int(update.metadata.get("staleness", 0)), staleness_alpha)
+        weight_row.fill(base * scalar)
+        per_param = update.metadata.get("param_staleness")
+        if per_param:
+            for name, staleness in per_param.items():
+                start, end = schema.span(name)
+                weight_row[start:end] = base * staleness_weight(
+                    int(staleness), staleness_alpha
+                )
+        numerator += row * weight_row
+        denominator += weight_row
+    if not np.all(denominator > 0):
+        raise ValueError("weights must sum to a positive value in every parameter")
+    return schema.views(numerator / denominator)
+
+
 def aggregate_updates(
     updates: list[ModelUpdate],
     sample_weighted: bool = False,
@@ -288,10 +333,17 @@ def aggregate_updates(
     """Aggregate updates; plain mean by default (paper §4.2).
 
     ``staleness_alpha`` enables staleness-aware down-weighting for
-    buffered-async rounds — see :func:`update_weights`.
+    buffered-async rounds — see :func:`update_weights`.  Batches containing
+    MixNN chimeras with ``param_staleness`` metadata take the per-layer
+    weighting of :func:`layerwise_staleness_mean` instead of one scalar
+    weight per update.
     """
     if not updates:
         raise ValueError("cannot aggregate an empty update list")
+    if staleness_alpha is not None and any(
+        "param_staleness" in u.metadata for u in updates
+    ):
+        return layerwise_staleness_mean(updates, staleness_alpha, sample_weighted)
     weights = update_weights(updates, sample_weighted, staleness_alpha)
     if weights is not None:
         total = float(sum(weights))
@@ -304,11 +356,51 @@ def aggregate_updates(
     return schema.views(flat_mean(rows, schema, weights))
 
 
+def layerwise_staleness_mean_reference(
+    updates: list[ModelUpdate],
+    staleness_alpha: float,
+    sample_weighted: bool = False,
+) -> "OrderedDict[str, np.ndarray]":
+    """Retained per-parameter implementation of :func:`layerwise_staleness_mean`.
+
+    Accumulates per-update numerator/denominator in the same float32 order as
+    the flat path, so the two agree bit for bit.
+    """
+    from .scenario import staleness_weight
+
+    names = list(updates[0].state.keys())
+    numerator = {
+        name: np.zeros_like(np.asarray(updates[0].state[name], dtype=np.float32))
+        for name in names
+    }
+    denominator = {name: np.zeros_like(numerator[name]) for name in names}
+    for update in updates:
+        base = float(update.num_samples) if sample_weighted else 1.0
+        scalar = staleness_weight(int(update.metadata.get("staleness", 0)), staleness_alpha)
+        per_param = update.metadata.get("param_staleness", {})
+        for name in names:
+            if name in per_param:
+                weight = base * staleness_weight(int(per_param[name]), staleness_alpha)
+            else:
+                weight = base * scalar
+            weight = np.float32(weight)
+            numerator[name] += np.asarray(update.state[name], dtype=np.float32) * weight
+            denominator[name] += weight
+    for name in names:
+        if not np.all(denominator[name] > 0):
+            raise ValueError("weights must sum to a positive value in every parameter")
+    return OrderedDict((name, numerator[name] / denominator[name]) for name in names)
+
+
 def aggregate_updates_reference(
     updates: list[ModelUpdate],
     sample_weighted: bool = False,
     staleness_alpha: float | None = None,
 ) -> "OrderedDict[str, np.ndarray]":
     """Retained per-parameter implementation of :func:`aggregate_updates`."""
+    if staleness_alpha is not None and any(
+        "param_staleness" in u.metadata for u in updates
+    ):
+        return layerwise_staleness_mean_reference(updates, staleness_alpha, sample_weighted)
     weights = update_weights(updates, sample_weighted, staleness_alpha)
     return aggregate_states_reference([u.state for u in updates], weights)

@@ -3,7 +3,13 @@
 from .accuracy import model_accuracy, per_client_accuracies
 from .cdf import empirical_cdf
 from .privacy import inference_accuracy, leakage_above_guess
-from .latency import LatencySummary, summarize_latencies
+from .latency import (
+    LatencySummary,
+    RoundTimingSummary,
+    arrival_latencies,
+    summarize_latencies,
+    summarize_round_timing,
+)
 
 __all__ = [
     "model_accuracy",
@@ -13,4 +19,7 @@ __all__ = [
     "empirical_cdf",
     "LatencySummary",
     "summarize_latencies",
+    "RoundTimingSummary",
+    "summarize_round_timing",
+    "arrival_latencies",
 ]

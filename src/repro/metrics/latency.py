@@ -1,4 +1,5 @@
-"""Latency summaries for the systems evaluation (§6.5)."""
+"""Latency summaries for the systems evaluation (§6.5) and the virtual-time
+round engine's measured wall-clock statistics."""
 
 from __future__ import annotations
 
@@ -6,7 +7,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["LatencySummary", "summarize_latencies"]
+__all__ = [
+    "LatencySummary",
+    "summarize_latencies",
+    "RoundTimingSummary",
+    "summarize_round_timing",
+    "arrival_latencies",
+]
 
 
 @dataclass(frozen=True)
@@ -41,3 +48,68 @@ def summarize_latencies(samples) -> LatencySummary:
         p95=float(np.percentile(values, 95)),
         maximum=float(values.max()),
     )
+
+
+# ----------------------------------------------------------------------
+# Virtual-time round engine statistics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RoundTimingSummary:
+    """Measured wall-clock profile of a scenario run's event stream.
+
+    Everything here comes from timestamps the engine actually replayed
+    (:class:`~repro.federated.simulation.RoundRecord.arrival_times`, round
+    close events) — not from bookkeeping formulas.
+    """
+
+    rounds: int
+    #: virtual seconds from the first broadcast to the last round close
+    total_seconds: float
+    mean_round_seconds: float
+    p95_round_seconds: float
+    #: merged updates per virtual second over the whole run
+    effective_throughput: float
+    #: mean fraction of a round the average participant idled after uploading
+    mean_idle_fraction: float
+
+    def as_row(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "total_s": round(self.total_seconds, 4),
+            "mean_round_s": round(self.mean_round_seconds, 4),
+            "p95_round_s": round(self.p95_round_seconds, 4),
+            "merged_per_s": round(self.effective_throughput, 4),
+            "idle_fraction": round(self.mean_idle_fraction, 4),
+        }
+
+
+def summarize_round_timing(records) -> RoundTimingSummary:
+    """Profile a run's :class:`~repro.federated.simulation.RoundRecord` list."""
+    records = list(records)
+    if not records:
+        raise ValueError("cannot summarize an empty round list")
+    durations = np.asarray([r.simulated_duration for r in records], dtype=np.float64)
+    total = float(durations.sum())
+    merged = float(sum(r.num_aggregated for r in records))
+    timed = [r.idle_fraction for r in records if r.simulated_duration > 0.0]
+    return RoundTimingSummary(
+        rounds=len(records),
+        total_seconds=total,
+        mean_round_seconds=float(durations.mean()),
+        p95_round_seconds=float(np.percentile(durations, 95)),
+        effective_throughput=merged / total if total > 0.0 else 0.0,
+        mean_idle_fraction=float(np.mean(timed)) if timed else 0.0,
+    )
+
+
+def arrival_latencies(records) -> list[float]:
+    """Per-merged-update round-trip latencies observed on the event stream.
+
+    Reads ``RoundRecord.merged_latencies`` — each update's true
+    dispatch→arrival span, so a stale buffered-async straggler contributes
+    its full transit time, not just the residual wait in the round that
+    finally merged it.  Suitable input for :func:`summarize_latencies` —
+    e.g. the measured broadcast-to-arrival distribution of a
+    deadline-vs-throughput study.
+    """
+    return [float(latency) for record in records for latency in record.merged_latencies]

@@ -118,32 +118,49 @@ class MixNNProxy:
 
     def _store(self, update: ModelUpdate) -> None:
         state = update.state
+        # Each buffered piece carries its source update's staleness so a
+        # chimera emission can be down-weighted *per layer* at aggregation
+        # (the MixNN staleness passthrough: without it, per-update staleness
+        # dies here and mixed async updates aggregate at full weight).
+        staleness = int(update.metadata.get("staleness", 0))
         for unit_index, unit in enumerate(self._units):
             piece = tuple(state[name] for name in unit)
-            self._lists[unit_index].insert((piece, update.sender_id))
+            self._lists[unit_index].insert((piece, update.sender_id, staleness))
         self._pending_ids.append(update.sender_id)
 
     def _compose(self) -> ModelUpdate:
         """Draw one random element per layer list and emit a mixed update."""
         pieces: list[tuple] = []
         sources: list[int] = []
+        unit_staleness: list[int] = []
         for unit_index in range(len(self._units)):
             layer_list = self._lists[unit_index]
             choice = int(self.rng.integers(len(layer_list)))
-            piece, source = layer_list.take(choice)
+            piece, source, staleness = layer_list.take(choice)
             sources.append(source)
+            unit_staleness.append(staleness)
             pieces.append(piece)
         state: "OrderedDict[str, np.ndarray]" = OrderedDict(
             (name, pieces[unit_index][member_index])
             for name, (unit_index, member_index) in zip(self._schema, self._compose_index)
         )
         apparent = self._pending_ids.popleft()
+        metadata = {"mixed": True, "granularity": self.granularity, "unit_sources": sources}
+        if any(unit_staleness):
+            # Per-parameter staleness vector: every layer of the chimera is
+            # discounted by its *own* source's lateness, not a blanket value.
+            metadata["param_staleness"] = {
+                name: unit_staleness[unit_index]
+                for unit_index, unit in enumerate(self._units)
+                for name in unit
+            }
+            metadata["staleness"] = max(unit_staleness)
         emitted = ModelUpdate(
             sender_id=-1,
             apparent_id=apparent,
             round_index=self._round_index,
             state=state,
-            metadata={"mixed": True, "granularity": self.granularity, "unit_sources": sources},
+            metadata=metadata,
         )
         self.stats.emitted += 1
         self.stats.bytes_out += self._update_nbytes

@@ -40,13 +40,19 @@ class EncryptedUpdate:
 
 
 def _envelope(update: ModelUpdate) -> bytes:
-    header = json.dumps(
-        {
-            "sender_id": update.sender_id,
-            "round_index": update.round_index,
-            "num_samples": update.num_samples,
-        }
-    ).encode()
+    fields = {
+        "sender_id": update.sender_id,
+        "round_index": update.round_index,
+        "num_samples": update.num_samples,
+    }
+    # Buffered-async rounds tag updates with how many rounds late they
+    # arrived; the proxy needs it inside the ciphertext to down-weight the
+    # mixed pieces per layer.  Omitted when fresh so the wire bytes of the
+    # synchronous flow are unchanged.
+    staleness = int(update.metadata.get("staleness", 0))
+    if staleness:
+        fields["staleness"] = staleness
+    header = json.dumps(fields).encode()
     return len(header).to_bytes(_HEADER_LEN_BYTES, "big") + header
 
 
@@ -78,11 +84,15 @@ def unpack_update(plaintext: bytes) -> ModelUpdate:
     header_len = int.from_bytes(plaintext[:_HEADER_LEN_BYTES], "big")
     header = json.loads(plaintext[_HEADER_LEN_BYTES : _HEADER_LEN_BYTES + header_len].decode())
     schema, vector = flat_from_bytes(plaintext[_HEADER_LEN_BYTES + header_len :])
+    metadata = {}
+    if "staleness" in header:
+        metadata["staleness"] = int(header["staleness"])
     return ModelUpdate(
         sender_id=int(header["sender_id"]),
         round_index=int(header["round_index"]),
         num_samples=int(header["num_samples"]),
         state=schema.views(vector),
+        metadata=metadata,
         flat_vector=vector,
     )
 

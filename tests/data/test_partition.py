@@ -154,6 +154,38 @@ class TestDirichletPartition:
         with pytest.raises(ValueError):
             dirichlet_partition(labels, 30, alpha=0.5, rng=rng_from_seed(0))
 
+    def test_dirichlet_reshard_wraps_a_base_dataset(self, tiny_motionsense):
+        from repro.data import DirichletReshard
+
+        resharded = DirichletReshard(tiny_motionsense, alpha=0.3)
+        assert resharded.num_clients == tiny_motionsense.num_clients
+        assert resharded.num_classes == tiny_motionsense.num_classes
+        assert resharded.attribute_name == "dominant class"
+        # the evaluation surface passes through unchanged
+        assert resharded.global_test() is tiny_motionsense.global_test()
+        assert resharded.background_clients() is tiny_motionsense.background_clients()
+        # same total training mass, re-carved
+        base_total = sum(
+            len(c.train) + len(c.test) for c in tiny_motionsense.clients()
+        )
+        reshard_total = sum(len(c.train) + len(c.test) for c in resharded.clients())
+        assert reshard_total == sum(len(c.train) for c in tiny_motionsense.clients())
+        assert reshard_total < base_total  # only the train pools are pooled
+
+    def test_dirichlet_reshard_is_deterministic(self, tiny_motionsense):
+        from repro.data import DirichletReshard
+
+        a = DirichletReshard(tiny_motionsense, alpha=0.5).clients()
+        b = DirichletReshard(tiny_motionsense, alpha=0.5).clients()
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.train.labels, y.train.labels)
+
+    def test_dirichlet_reshard_validation(self, tiny_motionsense):
+        from repro.data import DirichletReshard
+
+        with pytest.raises(ValueError):
+            DirichletReshard(tiny_motionsense, alpha=0.0)
+
     def test_dirichlet_clients_structure(self):
         rng = rng_from_seed(2)
         pool = ArrayDataset(rng.standard_normal((300, 4)), rng.integers(0, 4, 300))

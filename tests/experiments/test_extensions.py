@@ -4,12 +4,18 @@ import numpy as np
 import pytest
 
 from repro.experiments.extensions import (
+    CHURN_MODES,
     EXTENDED_DEFENSES,
     SCENARIO_SCHEMES,
+    churn_damage,
     make_scenario,
     render_defense_comparison,
+    render_dirichlet_churn_matrix,
+    render_frontier,
     render_scenario_comparison,
+    run_deadline_throughput_frontier,
     run_defense_comparison,
+    run_dirichlet_churn_matrix,
     run_passive_vs_active,
     run_relink_robustness,
     run_scenario_comparison,
@@ -89,10 +95,102 @@ class TestScenarioComparison:
         with pytest.raises(KeyError):
             make_scenario("fedsgd", 0.2, 16)
 
+    def test_measured_wall_clock_columns(self, rows):
+        for row in rows:
+            assert row.total_seconds > 0.0
+            assert 0.0 <= row.mean_idle_fraction <= 1.0
+            assert row.effective_throughput > 0.0
+        by_name = {row.scheme: row for row in rows}
+        # cutting the round earlier always raises measured throughput
+        assert (
+            by_name["buffered-async"].effective_throughput
+            >= by_name["sync-full"].effective_throughput
+        )
+
+    def test_timing_probe_reported_alongside(self, rows):
+        for row in rows:
+            assert 0.0 <= row.timing_attack <= 1.0
+            assert 0.0 < row.timing_guess <= 1.0
+
+    def test_schemes_filter(self):
+        rows = run_scenario_comparison(
+            "motionsense", rounds=2, dropout=0.2, schemes=("sync-deadline",)
+        )
+        assert [row.scheme for row in rows] == ["sync-deadline"]
+
     def test_render(self, rows):
         text = render_scenario_comparison(rows)
         assert "buffered-async" in text
         assert "mean round secs" in text
+        assert "timing attack" in text
+
+
+class TestDeadlineThroughputFrontier:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_deadline_throughput_frontier(
+            "motionsense", rounds=2, deadlines=(1.5, 3.0), buffer_fractions=(0.5,)
+        )
+
+    def test_one_row_per_knob_point(self, rows):
+        assert [(row.scheme, row.knob) for row in rows] == [
+            ("sync-full", "-"),
+            ("sync-deadline", "deadline=1.5s"),
+            ("sync-deadline", "deadline=3s"),
+            ("buffered-async", "buffer=0.5"),
+        ]
+
+    def test_frontier_is_measured_not_inferred(self, rows):
+        """Tighter deadlines must show as *measured* shorter totals and higher
+        throughput on the event stream."""
+        by_knob = {row.knob: row for row in rows}
+        assert by_knob["deadline=1.5s"].total_seconds <= by_knob["deadline=3s"].total_seconds
+        assert by_knob["deadline=3s"].total_seconds <= by_knob["-"].total_seconds
+        assert (
+            by_knob["deadline=1.5s"].effective_throughput
+            >= by_knob["-"].effective_throughput
+        )
+        for row in rows:
+            assert row.total_seconds > 0.0
+
+    def test_render(self, rows):
+        text = render_frontier(rows)
+        assert "deadline=1.5s" in text
+        assert "acc/sec" in text
+
+
+class TestDirichletChurnMatrix:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return run_dirichlet_churn_matrix("motionsense", rounds=2, alphas=(10.0, 0.3))
+
+    def test_full_matrix(self, cells):
+        assert [(cell.alpha, cell.churn) for cell in cells] == [
+            (alpha, mode) for alpha in (10.0, 0.3) for mode in CHURN_MODES
+        ]
+
+    def test_churn_shrinks_rounds(self, cells):
+        by_key = {(cell.alpha, cell.churn): cell for cell in cells}
+        for alpha in (10.0, 0.3):
+            assert (
+                by_key[(alpha, "dropout")].mean_aggregated
+                < by_key[(alpha, "none")].mean_aggregated
+            )
+            assert (
+                by_key[(alpha, "outage-trace")].mean_aggregated
+                < by_key[(alpha, "none")].mean_aggregated
+            )
+
+    def test_damage_table_covers_churn_modes(self, cells):
+        damage = churn_damage(cells)
+        assert set(damage) == {10.0, 0.3}
+        for row in damage.values():
+            assert set(row) == {"dropout", "outage-trace"}
+
+    def test_render_includes_verdict(self, cells):
+        text = render_dirichlet_churn_matrix(cells)
+        assert "damage vs no-churn" in text
+        assert "amplif" in text  # the verdict line
 
 
 class TestRelinkRobustness:

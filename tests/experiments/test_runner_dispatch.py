@@ -57,3 +57,79 @@ class TestDispatch:
         for dataset in DATASETS:
             assert runner.main(["figure5", "--dataset", dataset]) == 0
         assert [call[1] for call in recorded] == list(DATASETS)
+
+
+@pytest.fixture()
+def recorded_scenario(monkeypatch):
+    calls = []
+
+    def fake_run_scenario_experiment(name, args):
+        calls.append((name, args))
+        return f"report {name}"
+
+    monkeypatch.setattr(runner, "run_scenario_experiment", fake_run_scenario_experiment)
+    return calls
+
+
+class TestScenarioDispatch:
+    def test_scenario_command_dispatches_with_knobs(self, recorded_scenario, capsys):
+        assert (
+            runner.main(
+                [
+                    "scenario",
+                    "--dropout",
+                    "0.3",
+                    "--deadline",
+                    "2.0",
+                    "--buffer-fraction",
+                    "0.5",
+                    "--scheme",
+                    "buffered-async",
+                ]
+            )
+            == 0
+        )
+        (name, args), = recorded_scenario
+        assert name == "scenario"
+        assert args.dropout == 0.3
+        assert args.deadline == 2.0
+        assert args.buffer_fraction == 0.5
+        assert args.scheme == "buffered-async"
+        assert "report scenario" in capsys.readouterr().out
+
+    def test_frontier_and_dirichlet_commands_exist(self, recorded_scenario):
+        runner.main(["frontier"])
+        runner.main(["dirichlet-churn", "--alphas", "5,0.5"])
+        names = [name for name, _ in recorded_scenario]
+        assert names == ["frontier", "dirichlet-churn"]
+        assert recorded_scenario[1][1].alphas == (5.0, 0.5)
+
+    def test_all_does_not_include_scenario_commands(self, recorded, recorded_scenario):
+        runner.main(["all", "--dataset", "motionsense"])
+        assert recorded_scenario == []
+        assert {call[0] for call in recorded} == set(runner.EXPERIMENTS)
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["scenario", "--dropout", "1.0"],
+            ["scenario", "--dropout", "-0.1"],
+            ["scenario", "--deadline", "0"],
+            ["scenario", "--buffer-fraction", "0"],
+            ["scenario", "--buffer-fraction", "1.5"],
+            ["scenario", "--staleness-alpha", "-1"],
+            ["scenario", "--latency-median", "-2"],
+            ["scenario", "--scheme", "fedsgd"],
+            ["scenario", "--rounds", "0"],
+            ["dirichlet-churn", "--alphas", "0,-1"],
+            ["dirichlet-churn", "--alphas", ""],
+        ],
+    )
+    def test_bad_scenario_knobs_die_at_argparse_time(
+        self, recorded_scenario, flags, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(flags)
+        assert excinfo.value.code == 2
+        assert recorded_scenario == []
+        capsys.readouterr()

@@ -82,6 +82,71 @@ class TestLatency:
         assert isinstance(summary, LatencySummary)
 
 
+class TestRoundTiming:
+    def make_records(self):
+        from repro.federated.simulation import RoundRecord
+
+        return [
+            RoundRecord(
+                round_index=0,
+                global_accuracy=0.5,
+                num_aggregated=4,
+                simulated_duration=2.0,
+                round_start=0.0,
+                idle_fraction=0.5,
+                arrival_times=[(0, 1.0), (1, 1.5), (2, 2.0), (3, 2.0)],
+                merged_latencies=[1.0, 1.5, 2.0, 2.0],
+            ),
+            RoundRecord(
+                round_index=1,
+                global_accuracy=0.6,
+                num_aggregated=2,
+                simulated_duration=1.0,
+                round_start=2.0,
+                idle_fraction=0.25,
+                arrival_times=[(0, 2.5), (1, 3.0)],
+                # the second merge is a stale arrival dispatched in round 0:
+                # its true round trip (3.0) exceeds its residual wait (1.0)
+                merged_latencies=[0.5, 3.0],
+            ),
+        ]
+
+    def test_summarize_round_timing(self):
+        from repro.metrics import summarize_round_timing
+
+        summary = summarize_round_timing(self.make_records())
+        assert summary.rounds == 2
+        assert summary.total_seconds == pytest.approx(3.0)
+        assert summary.mean_round_seconds == pytest.approx(1.5)
+        assert summary.effective_throughput == pytest.approx(6 / 3.0)
+        assert summary.mean_idle_fraction == pytest.approx(0.375)
+        row = summary.as_row()
+        assert row["merged_per_s"] == 2.0
+
+    def test_summarize_empty_raises(self):
+        from repro.metrics import summarize_round_timing
+
+        with pytest.raises(ValueError):
+            summarize_round_timing([])
+
+    def test_untimed_rounds_report_zero(self):
+        from repro.federated.simulation import RoundRecord
+        from repro.metrics import summarize_round_timing
+
+        summary = summarize_round_timing(
+            [RoundRecord(round_index=0, global_accuracy=0.5, num_aggregated=3)]
+        )
+        assert summary.total_seconds == 0.0
+        assert summary.effective_throughput == 0.0
+        assert summary.mean_idle_fraction == 0.0
+
+    def test_arrival_latencies_report_true_round_trips(self):
+        from repro.metrics import arrival_latencies
+
+        latencies = arrival_latencies(self.make_records())
+        assert latencies == [1.0, 1.5, 2.0, 2.0, 0.5, 3.0]
+
+
 class TestModelAccuracyHelpers:
     def test_model_accuracy_on_global_test(self, tiny_motionsense):
         model_fn = lambda rng: paper_cnn(tiny_motionsense.input_shape, 6, rng)

@@ -34,6 +34,26 @@ class TestTransport:
         expected = sum(v.nbytes for v in update.state.values())
         assert update_nbytes(update) == expected
 
+    def test_staleness_rides_inside_the_ciphertext(self, small_model, enclave):
+        update = make_updates(small_model, 1)[0]
+        update.metadata["staleness"] = 3
+        message = pack_update(update, enclave.public_key)
+        restored = unpack_update(decrypt(enclave.keypair, message.ciphertext))
+        assert restored.metadata["staleness"] == 3
+
+    def test_fresh_update_wire_bytes_unchanged(self, small_model, enclave):
+        """staleness=0 is omitted from the envelope: the synchronous flow's
+        plaintext framing is byte-identical to the pre-passthrough format."""
+        update = make_updates(small_model, 1)[0]
+        fresh = pack_update(update, enclave.public_key)
+        update.metadata["staleness"] = 0
+        tagged = pack_update(update, enclave.public_key)
+        assert len(decrypt(enclave.keypair, fresh.ciphertext)) == len(
+            decrypt(enclave.keypair, tagged.ciphertext)
+        )
+        restored = unpack_update(decrypt(enclave.keypair, tagged.ciphertext))
+        assert "staleness" not in restored.metadata
+
 
 def build_proxy(enclave, k, seed=0):
     return MixNNProxy(enclave=enclave, k=k, rng=rng_from_seed(seed))
