@@ -3,7 +3,9 @@
 
 Runs the crypto/transport/mixing micro-benchmarks, the flat-parameter-plane
 attack/aggregation micro-benchmarks, the round-throughput sweep (clients/sec
-at 16/64/256 simulated clients, flat vs retained reference path), and the
+at 16/64/256 simulated clients, flat vs retained reference path), the
+fault-recovery sweep (round throughput and recovery percentiles at
+0/5/20 % proxy-crash under 5 % frame corruption), and the
 §6.5 system-perf pipeline measurement directly (no pytest involved), and
 writes the results to ``BENCH_<date>.json`` next to this script (override
 with ``--output``).  An existing snapshot for the same date is never
@@ -233,6 +235,99 @@ def deadline_throughput_frontier() -> list[dict]:
     return rows
 
 
+#: fault-recovery benchmark: rounds per run (6 so the 20 % proxy-crash row's
+#: deterministic draw — seed 0 first fires in round 5 — actually exercises a
+#: crash-and-failover, not just the transport-retry floor)
+FAULT_ROUNDS = 6
+FAULT_FRAME_RATE = 0.05
+FAULT_QUORUM = 0.7
+
+
+def fault_recovery() -> list[dict]:
+    """Round throughput and recovery latency under seeded fault injection.
+
+    One miniature MixNN federation per proxy-crash rate in
+    :data:`repro.experiments.extensions.CHAOS_PROXY_CRASH_RATES` (the same
+    sweep the runner's ``chaos`` command reports, so snapshots never drift
+    from the experiment), with RW01 frame corruption held at
+    ``FAULT_FRAME_RATE`` so even the 0-crash row exercises the
+    backoff-and-retry transport path.  Reports real wall-clock rounds/sec
+    (the fault plane's execution overhead), virtual-time merged/sec (what
+    the faults cost the federation), and per-fault recovery percentiles.
+    Every run's ledger is validated before its row is recorded.
+    Deterministic, so a single run per point is exact — no timing repeats.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.data import SyntheticMotionSense
+    from repro.defenses import MixNNDefense
+    from repro.experiments.extensions import CHAOS_PROXY_CRASH_RATES, make_scenario
+    from repro.experiments.models import model_fn_for
+    from repro.federated import (
+        FaultConfig,
+        FederatedSimulation,
+        LocalTrainingConfig,
+        SimulationConfig,
+    )
+    from repro.metrics.latency import summarize_round_timing
+    from repro.utils.rng import rng_from_seed, stable_seed
+
+    rows = []
+    for crash_rate in CHAOS_PROXY_CRASH_RATES:
+        dataset = SyntheticMotionSense(
+            seed=0,
+            windows_per_activity=4,
+            test_windows_per_activity=1,
+            background_subjects_per_gender=2,
+        )
+        faults = FaultConfig(
+            frame_corruption_rate=FAULT_FRAME_RATE,
+            proxy_crash_rate=crash_rate,
+            quorum_fraction=FAULT_QUORUM,
+        )
+        scenario = dc_replace(
+            make_scenario("sync-full", SCENARIO_DROPOUT, dataset.num_clients),
+            faults=faults,
+        )
+        config = SimulationConfig(
+            rounds=FAULT_ROUNDS,
+            local=LocalTrainingConfig(local_epochs=1, batch_size=64),
+            seed=0,
+            track_per_client_accuracy=False,
+            scenario=scenario,
+        )
+        sim = FederatedSimulation(
+            dataset,
+            model_fn_for(dataset),
+            config,
+            defense=MixNNDefense(rng=rng_from_seed(stable_seed(0, "mixnn-proxy"))),
+        )
+        start = time.perf_counter()
+        result = sim.run()
+        wall = time.perf_counter() - start
+        result.fault_ledger.validate()
+        timing = summarize_round_timing(result.rounds)
+        ledger = result.fault_ledger
+        rows.append(
+            {
+                "proxy_crash_rate": crash_rate,
+                "frame_corruption_rate": FAULT_FRAME_RATE,
+                "wall_seconds": wall,
+                "rounds_per_wall_sec": FAULT_ROUNDS / wall,
+                "merged_per_simulated_sec": timing.effective_throughput,
+                "recovery_p50_s": timing.recovery_p50_seconds,
+                "recovery_p99_s": timing.recovery_p99_seconds,
+                "total_recovery_s": timing.total_recovery_seconds,
+                "faults": ledger.injected,
+                "retries": timing.total_retries,
+                "failed_over": ledger.failed_over,
+                "discarded": ledger.discarded,
+                "retransmissions": ledger.retransmissions,
+            }
+        )
+    return rows
+
+
 def collect(repeats: int) -> dict:
     from repro.experiments.system_perf import run_system_perf
     from repro.federated.update import aggregate_updates, aggregate_updates_reference
@@ -276,6 +371,7 @@ def collect(repeats: int) -> dict:
     results["round_throughput"] = round_throughput(model, repeats)
     results["scenario_round_throughput"] = scenario_round_throughput(repeats)
     results["deadline_throughput_frontier"] = deadline_throughput_frontier()
+    results["fault_recovery"] = fault_recovery()
     perf = run_system_perf()
     results["system_perf"] = {
         section: [row.__dict__ for row in rows] for section, rows in perf.items()

@@ -27,6 +27,19 @@ class Defense(abc.ABC):
     #: identifier used in reports ("classical-fl", "noisy-gradient", "mixnn")
     name: str = "defense"
 
+    #: fault plane hooks; ``None`` until :meth:`attach_fault_plane` is called.
+    _fault_injector = None
+    _fault_ledger = None
+
+    def attach_fault_plane(self, injector, ledger) -> None:
+        """Wire the simulation's fault injector/ledger into this defense.
+
+        The base implementation just stores the hooks; defenses with internal
+        infrastructure (the MixNN proxy chain) also propagate them downstream.
+        """
+        self._fault_injector = injector
+        self._fault_ledger = ledger
+
     @abc.abstractmethod
     def process_round(
         self,

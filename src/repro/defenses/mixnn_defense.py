@@ -54,6 +54,12 @@ class MixNNDefense(Defense):
         self.verify_attestation = verify_attestation
         self._attested = False
 
+    def attach_fault_plane(self, injector, ledger) -> None:
+        super().attach_fault_plane(injector, ledger)
+        if self.proxy is not None:
+            self.proxy.fault_injector = injector
+            self.proxy.fault_ledger = ledger
+
     def _ensure_proxy(self, round_size: int) -> MixNNProxy:
         if self.proxy is None:
             self.proxy = MixNNProxy(
@@ -62,6 +68,8 @@ class MixNNDefense(Defense):
                 rng=self._rng,
                 granularity=self._granularity,
             )
+            self.proxy.fault_injector = self._fault_injector
+            self.proxy.fault_ledger = self._fault_ledger
         elif self._adaptive_k and round_size >= 1 and self.proxy.k != round_size:
             # Full-round buffering must track the cohort that actually shows
             # up: under churn/stragglers/async the arriving subset varies per
@@ -70,8 +78,26 @@ class MixNNDefense(Defense):
             self.proxy.resize(round_size)
         return self.proxy
 
-    def _attest(self) -> None:
-        """Participant-side check before the first upload (§2.5)."""
+    def _attest(self, round_index: int = 0) -> None:
+        """Participant-side check before the first upload (§2.5).
+
+        With the fault plane attached, injected attestation failures retry
+        (each failed handshake still costs an enclave quote) until the draw
+        clears or the attempt cap is hit; a real verification mismatch still
+        raises :class:`EnclaveError`.
+        """
+        injector, ledger = self._fault_injector, self._fault_ledger
+        if injector is not None and injector.config.attestation_failure_rate > 0:
+            for attempt in range(injector.config.max_attempts):
+                if not injector.attestation_fault(round_index, attempt):
+                    break
+                delay = injector.backoff("attestation", 0, round_index, attempt)
+                ledger.record(
+                    "attestation", 0, round_index, attempt, "retried", delay_seconds=delay
+                )
+                self.proxy.enclave.clock_seconds += (
+                    self.proxy.enclave.cost_model.attestation_seconds
+                )
         nonce = secrets.token_bytes(16)
         quote = self.proxy.enclave.quote(nonce)
         if not self.proxy.enclave.verify_quote(quote, self.proxy.enclave.code_identity):
@@ -85,12 +111,81 @@ class MixNNDefense(Defense):
         broadcast_state: dict | None = None,
     ) -> list[ModelUpdate]:
         proxy = self._ensure_proxy(len(updates))
+        injector = self._fault_injector
+        # The freshest update carries the true round: under quorum closure the
+        # batch leads with stale carry-forwards, so updates[0] would key the
+        # fault draws to the previous round.
+        round_index = max((u.round_index for u in updates), default=0)
         if self.verify_attestation and not self._attested:
-            self._attest()
+            self._attest(round_index)
         # Network arrival order at the proxy is arbitrary.
         order = rng.permutation(len(updates))
-        messages = [proxy.encrypt_for_proxy(updates[i]) for i in order]
-        return proxy.process_round(messages)
+        ordered = [updates[i] for i in order]
+        messages = [proxy.encrypt_for_proxy(u) for u in ordered]
+        if (
+            injector is not None
+            and injector.config.proxy_crash_rate > 0
+            and injector.proxy_crash(round_index)
+        ):
+            return self._process_round_with_crash(ordered, messages, round_index)
+        return proxy.process_round(messages, round_hint=round_index)
+
+    def _process_round_with_crash(
+        self,
+        ordered: list[ModelUpdate],
+        messages: list,
+        round_index: int,
+    ) -> list[ModelUpdate]:
+        """Crash the proxy mid-stream and fail over to a fresh one.
+
+        The crash point is a deterministic draw over the message sequence.
+        Messages streamed before the crash may already have emitted chimera
+        updates — those are delivered.  Buffered-but-intact senders re-encrypt
+        to the failover proxy (fresh enclave, fresh keys, re-attestation);
+        partially-emitted senders' remaining pieces are unrecoverable and are
+        discarded (the server's quorum policy absorbs the loss).  In the
+        default full-round mode nothing emits before the flush, so every
+        buffered sender is intact and the round's aggregate is preserved.
+        """
+        proxy, injector, ledger = self.proxy, self._fault_injector, self._fault_ledger
+        crash_at = injector.crash_point(round_index, len(messages))
+        emitted = proxy.stream(messages[:crash_at], round_hint=round_index)
+        intact, partial = proxy.crash()
+        delay = (
+            injector.backoff("proxy-crash", 0, round_index, 0)
+            + proxy.enclave.cost_model.attestation_seconds
+        )
+        ledger.record("proxy-crash", 0, round_index, 0, "failed-over", delay_seconds=delay)
+        for sender in partial:
+            ledger.record("proxy-crash", sender, round_index, 0, "discarded")
+        intact_set = set(intact)
+        survivors = [u for u in ordered[:crash_at] if u.sender_id in intact_set]
+        survivors += ordered[crash_at:]
+        failover = MixNNProxy(
+            enclave=SGXEnclaveSim(
+                cost_model=proxy.enclave.cost_model,
+                epc_budget_bytes=proxy.enclave.epc_budget_bytes,
+                constant_time=proxy.enclave.constant_time,
+            ),
+            k=len(survivors) if self._adaptive_k and survivors else proxy.k,
+            rng=self._rng,
+            granularity=proxy.granularity,
+            max_workers=proxy.max_workers,
+        )
+        failover.fault_injector = injector
+        failover.fault_ledger = ledger
+        self.proxy = failover
+        # New enclave => new keys: participants must re-attest and re-encrypt.
+        self._attested = False
+        if self.verify_attestation:
+            self._attest(round_index)
+        ledger.note_retransmissions(len(survivors))
+        emitted.extend(
+            failover.process_round(
+                [failover.encrypt_for_proxy(u) for u in survivors], round_hint=round_index
+            )
+        )
+        return emitted
 
     def __repr__(self) -> str:
         if self.proxy is None:

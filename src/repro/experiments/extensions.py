@@ -72,6 +72,10 @@ __all__ = [
     "CHURN_MODES",
     "run_dirichlet_churn_matrix",
     "render_dirichlet_churn_matrix",
+    "ChaosRow",
+    "CHAOS_PROXY_CRASH_RATES",
+    "run_chaos",
+    "render_chaos",
 ]
 
 #: The extended defense roster (name -> factory taking the params object).
@@ -635,6 +639,187 @@ def render_dirichlet_churn_matrix(cells: list[DirichletChurnCell]) -> str:
             f"IID-ish (α={iid:g}) {worst_iid:+.3f} — "
             + ("non-IID amplifies dropout damage" if amplified else "no amplification observed")
         )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Chaos study: the round pipeline under seeded fault injection
+# ----------------------------------------------------------------------
+#: default proxy-crash sweep, shared with the ``fault_recovery`` benchmark
+#: rows so snapshots and reports never drift apart
+CHAOS_PROXY_CRASH_RATES: tuple[float, ...] = (0.0, 0.05, 0.2)
+
+
+@dataclass
+class ChaosRow:
+    """One fault-rate operating point of the chaos sweep.
+
+    ``final_accuracy`` and ``effective_throughput`` say what the faults cost;
+    the ledger columns (``injected = retried + failed_over + discarded`` by
+    construction) say what the fault plane did about them; the recovery
+    percentiles say how long one fault took to absorb.
+    """
+
+    proxy_crash_rate: float
+    frame_corruption_rate: float
+    final_accuracy: float
+    mean_aggregated: float
+    effective_throughput: float
+    total_faults: int
+    total_retries: int
+    failed_over: int
+    discarded: int
+    retransmissions: int
+    recovery_p50_seconds: float
+    recovery_p99_seconds: float
+    carried_forward: int
+
+    def as_row(self) -> dict:
+        return {
+            "proxy_crash_rate": self.proxy_crash_rate,
+            "frame_corruption_rate": self.frame_corruption_rate,
+            "final_accuracy": round(self.final_accuracy, 4),
+            "mean_aggregated": round(self.mean_aggregated, 2),
+            "merged_per_s": round(self.effective_throughput, 4),
+            "faults": self.total_faults,
+            "retries": self.total_retries,
+            "failed_over": self.failed_over,
+            "discarded": self.discarded,
+            "retransmissions": self.retransmissions,
+            "recovery_p50_s": round(self.recovery_p50_seconds, 4),
+            "recovery_p99_s": round(self.recovery_p99_seconds, 4),
+            "carried_forward": self.carried_forward,
+        }
+
+
+def run_chaos(
+    dataset_name: str = "motionsense",
+    scale: str = "ci",
+    seed: int = 0,
+    rounds: int = 4,
+    dropout: float = 0.1,
+    proxy_crash_rates: tuple[float, ...] = CHAOS_PROXY_CRASH_RATES,
+    frame_corruption_rate: float = 0.05,
+    client_crash_rate: float = 0.0,
+    enclave_failure_rate: float = 0.0,
+    quorum_fraction: float = 0.7,
+    max_attempts: int = 4,
+    hop_timeout: float | None = None,
+    latency_median: float = 1.0,
+) -> list[ChaosRow]:
+    """Sweep proxy-crash rates through a full MixNN round pipeline.
+
+    Every row runs the same seeded workload (selection, training, churn, and
+    latency draws are pure functions of ``(seed, client, round)``) under the
+    MixNN defense with the fault plane armed, varying only the proxy-crash
+    probability — so accuracy/throughput deltas between rows are attributable
+    to the faults and their recovery, nothing else.  Frame corruption is held
+    at ``frame_corruption_rate`` across all rows (including the 0-crash row:
+    that row measures the transport-retry floor, not a fault-free baseline).
+    Each run's ledger is validated (injected == retried + failed-over +
+    discarded) before its row is emitted.
+    """
+    from dataclasses import replace as dc_replace
+
+    from ..federated.faults import FaultConfig
+    from ..metrics.latency import summarize_round_timing
+
+    rows: list[ChaosRow] = []
+    for crash_rate in proxy_crash_rates:
+        dataset, params = build_experiment(dataset_name, scale=scale, seed=seed)
+        model_fn = model_fn_for(dataset)
+        cohort = params.clients_per_round or dataset.num_clients
+        faults = FaultConfig(
+            client_crash_rate=client_crash_rate,
+            frame_corruption_rate=frame_corruption_rate,
+            enclave_failure_rate=enclave_failure_rate,
+            proxy_crash_rate=crash_rate,
+            quorum_fraction=quorum_fraction,
+            max_attempts=max_attempts,
+            hop_timeout=hop_timeout,
+        )
+        scenario = dc_replace(
+            make_scenario("sync-full", dropout, cohort, latency_median=latency_median),
+            faults=faults,
+        )
+        config = dc_replace(
+            params.simulation_config(seed=seed, rounds=rounds),
+            scenario=scenario,
+        )
+        result = FederatedSimulation(
+            dataset,
+            model_fn,
+            config,
+            defense=MixNNDefense(rng=rng_from_seed(stable_seed(seed, "mixnn-proxy"))),
+        ).run()
+        result.fault_ledger.validate()
+        timing = summarize_round_timing(result.rounds)
+        ledger = result.fault_ledger
+        rows.append(
+            ChaosRow(
+                proxy_crash_rate=crash_rate,
+                frame_corruption_rate=frame_corruption_rate,
+                final_accuracy=result.accuracy_curve()[-1],
+                mean_aggregated=float(np.mean([r.num_aggregated for r in result.rounds])),
+                effective_throughput=timing.effective_throughput,
+                total_faults=ledger.injected,
+                total_retries=timing.total_retries,
+                failed_over=ledger.failed_over,
+                discarded=ledger.discarded,
+                retransmissions=ledger.retransmissions,
+                recovery_p50_seconds=timing.recovery_p50_seconds,
+                recovery_p99_seconds=timing.recovery_p99_seconds,
+                carried_forward=int(sum(r.num_carried_forward for r in result.rounds)),
+            )
+        )
+    return rows
+
+
+def render_chaos(rows: list[ChaosRow]) -> str:
+    header = [
+        "proxy crash",
+        "frame corrupt",
+        "final accuracy",
+        "mean merged/round",
+        "merged/sec",
+        "faults",
+        "retries",
+        "failed over",
+        "discarded",
+        "retransmits",
+        "recovery p50 s",
+        "recovery p99 s",
+        "carried",
+    ]
+    body = [
+        [
+            f"{row.proxy_crash_rate:g}",
+            f"{row.frame_corruption_rate:g}",
+            round(row.final_accuracy, 3),
+            round(row.mean_aggregated, 1),
+            round(row.effective_throughput, 2),
+            row.total_faults,
+            row.total_retries,
+            row.failed_over,
+            row.discarded,
+            row.retransmissions,
+            round(row.recovery_p50_seconds, 3),
+            round(row.recovery_p99_seconds, 3),
+            row.carried_forward,
+        ]
+        for row in rows
+    ]
+    lines = [format_table(header, body)]
+    if len(rows) >= 2:
+        base, worst = rows[0], rows[-1]
+        if base.effective_throughput > 0:
+            slowdown = 1.0 - worst.effective_throughput / base.effective_throughput
+            lines.append(
+                f"throughput at {worst.proxy_crash_rate:g} proxy-crash is "
+                f"{slowdown:+.1%} below the {base.proxy_crash_rate:g}-crash row; "
+                f"accuracy delta {worst.final_accuracy - base.final_accuracy:+.3f} "
+                "(every ledger balanced: injected == retried + failed-over + discarded)"
+            )
     return "\n".join(lines)
 
 

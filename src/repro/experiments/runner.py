@@ -17,6 +17,7 @@ engine::
     python -m repro.experiments.runner scenario --scheme buffered-async --buffer-fraction 0.5
     python -m repro.experiments.runner frontier --rounds 5
     python -m repro.experiments.runner dirichlet-churn --alphas 10,0.3
+    python -m repro.experiments.runner chaos --proxy-crash-rates 0,0.05,0.2 --quorum 0.7
 
 All scenario knobs (churn probability, latency shape, aggregation scheme,
 deadline, buffer fraction) are validated at argparse time — a bad value dies
@@ -37,7 +38,7 @@ __all__ = ["main", "run_experiment", "run_scenario_experiment"]
 EXPERIMENTS = ("figure5", "figure6", "figure7", "figure8", "figure9", "system")
 #: virtual-time scenario studies (not part of ``all``, which regenerates the
 #: paper's figures only)
-SCENARIO_EXPERIMENTS = ("scenario", "frontier", "dirichlet-churn")
+SCENARIO_EXPERIMENTS = ("scenario", "frontier", "dirichlet-churn", "chaos")
 
 
 def _render_checks(checks: dict[str, bool]) -> str:
@@ -122,6 +123,22 @@ def run_scenario_experiment(name: str, args: argparse.Namespace) -> str:
             dropout=args.dropout,
         )
         lines.append(extensions.render_dirichlet_churn_matrix(cells))
+    elif name == "chaos":
+        rows = extensions.run_chaos(
+            args.dataset,
+            scale=args.scale,
+            seed=args.seed,
+            rounds=args.rounds if args.rounds is not None else 4,
+            dropout=args.dropout,
+            proxy_crash_rates=args.proxy_crash_rates,
+            frame_corruption_rate=args.frame_corruption_rate,
+            client_crash_rate=args.client_crash_rate,
+            quorum_fraction=args.quorum,
+            max_attempts=args.max_attempts,
+            hop_timeout=args.hop_timeout,
+            latency_median=args.latency_median,
+        )
+        lines.append(extensions.render_chaos(rows))
     else:
         raise KeyError(
             f"unknown scenario experiment {name!r}; choose from {SCENARIO_EXPERIMENTS}"
@@ -176,6 +193,21 @@ def _positive_list(label: str):
             raise argparse.ArgumentTypeError(f"expected comma-separated floats, got {text!r}")
         if not values or any(value <= 0 for value in values):
             raise argparse.ArgumentTypeError(f"{label} must be > 0, got {text!r}")
+        return values
+
+    return parse
+
+
+def _probability_list(label: str):
+    def parse(text: str) -> tuple[float, ...]:
+        try:
+            values = tuple(float(part) for part in text.split(",") if part.strip())
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"expected comma-separated floats, got {text!r}")
+        if not values or any(not 0.0 <= value < 1.0 for value in values):
+            raise argparse.ArgumentTypeError(
+                f"{label} must be probabilities in [0, 1), got {text!r}"
+            )
         return values
 
     return parse
@@ -277,6 +309,48 @@ def main(argv: list[str] | None = None) -> int:
         type=_positive_list("Dirichlet alphas"),
         default=(10.0, 0.3),
         help="comma-separated Dirichlet alphas, dirichlet-churn command (IID-ish first)",
+    )
+
+    from .extensions import CHAOS_PROXY_CRASH_RATES
+
+    chaos = parser.add_argument_group(
+        "fault knobs", "consumed by the chaos command (seeded fault injection)"
+    )
+    chaos.add_argument(
+        "--proxy-crash-rates",
+        type=_probability_list("proxy crash rates"),
+        default=CHAOS_PROXY_CRASH_RATES,
+        help="comma-separated per-round proxy-crash probability sweep",
+    )
+    chaos.add_argument(
+        "--frame-corruption-rate",
+        type=_probability,
+        default=0.05,
+        help="per-(client, round, attempt) RW01 frame corruption probability",
+    )
+    chaos.add_argument(
+        "--client-crash-rate",
+        type=_probability,
+        default=0.0,
+        help="per-(client, round) mid-training crash probability",
+    )
+    chaos.add_argument(
+        "--quorum",
+        type=_fraction,
+        default=0.7,
+        help="surviving-cohort fraction at which a degraded round may close",
+    )
+    chaos.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=4,
+        help="transmission/retry attempt cap before an update is discarded",
+    )
+    chaos.add_argument(
+        "--hop-timeout",
+        type=_positive_float,
+        default=None,
+        help="per-hop timeout in simulated seconds (default: no timeout)",
     )
     args = parser.parse_args(argv)
 

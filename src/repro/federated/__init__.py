@@ -13,8 +13,16 @@ from .events import (
     ClientUpdateArrival,
     EventScheduler,
     FlushPolicy,
+    QuorumFlushPolicy,
     RoundDeadline,
     SyncFlushPolicy,
+    TransmissionFailure,
+)
+from .faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultLedger,
+    FaultRecord,
 )
 from .flat import FlatState, FlatUpdateBatch, row_norms, unit_columns
 from .scenario import (
@@ -68,11 +76,17 @@ __all__ = [
     "RoundRecord",
     "EventScheduler",
     "ClientUpdateArrival",
+    "TransmissionFailure",
     "RoundDeadline",
     "BufferFlush",
     "FlushPolicy",
     "SyncFlushPolicy",
+    "QuorumFlushPolicy",
     "BufferedFlushPolicy",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultLedger",
+    "FaultRecord",
     "ScenarioConfig",
     "ClientAvailability",
     "AlwaysAvailable",

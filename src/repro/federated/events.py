@@ -43,11 +43,13 @@ from dataclasses import dataclass, field
 __all__ = [
     "Event",
     "ClientUpdateArrival",
+    "TransmissionFailure",
     "RoundDeadline",
     "BufferFlush",
     "EventScheduler",
     "FlushPolicy",
     "SyncFlushPolicy",
+    "QuorumFlushPolicy",
     "BufferedFlushPolicy",
 ]
 
@@ -79,6 +81,32 @@ class ClientUpdateArrival(Event):
     origin_round: int = -1
     dispatch_time: float = 0.0
     latency: float = 0.0
+    update: object = field(default=None, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "priority", _PRIORITY_ARRIVAL)
+
+
+@dataclass(frozen=True)
+class TransmissionFailure(Event):
+    """A transmission attempt failed in transit; the sender learns at ``time``.
+
+    ``kind`` is ``"frame"`` (the receiver detected a corrupt frame at what
+    would have been the arrival instant) or ``"timeout"`` (the per-hop ack
+    timer expired before the frame landed).  The round engine answers with a
+    backoff-delayed retry or, once the attempt budget is exhausted, discards
+    the payload.  Arrival priority: a failure detected at the same instant as
+    a round close never reopens the round.
+    """
+
+    client_id: int = -1
+    origin_round: int = -1
+    dispatch_time: float = 0.0
+    #: transit latency of the failed attempt (the retry redraws its own)
+    latency: float = 0.0
+    #: 0-based index of the attempt that failed
+    attempt: int = 0
+    kind: str = "frame"
     update: object = field(default=None, compare=False, hash=False)
 
     def __post_init__(self) -> None:
@@ -144,10 +172,30 @@ class EventScheduler:
             self.now = time
         return event
 
+    def advance(self, seconds: float) -> None:
+        """Advance the clock by a recovery delay spent outside the heap
+        (post-flush failover/retry work); the clock never runs backwards."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock backwards, got {seconds}")
+        self.now += seconds
+
     def pending_arrivals(self) -> list[ClientUpdateArrival]:
         """Arrival events still queued (in-transit updates), in heap order."""
         return sorted(
             (entry[3] for entry in self._heap if isinstance(entry[3], ClientUpdateArrival)),
+            key=lambda e: e.time,
+        )
+
+    def in_flight_payloads(self) -> list[Event]:
+        """Every queued event that carries a payload still in transit —
+        arrivals plus transmission failures awaiting their retry — in time
+        order.  This is the backlog a fault-aware round must still expect."""
+        return sorted(
+            (
+                entry[3]
+                for entry in self._heap
+                if isinstance(entry[3], (ClientUpdateArrival, TransmissionFailure))
+            ),
             key=lambda e: e.time,
         )
 
@@ -181,6 +229,28 @@ class SyncFlushPolicy(FlushPolicy):
 
     def should_flush(self, buffered: int, outstanding: int) -> bool:
         return outstanding <= 0 and self.expected_absent == 0
+
+
+@dataclass(frozen=True)
+class QuorumFlushPolicy(FlushPolicy):
+    """Sync with graceful degradation: close once a quorum has merged.
+
+    Identical to :class:`SyncFlushPolicy` (flush when every reachable
+    dispatch arrived), *plus* an early exit once ``quorum_count`` updates
+    have been merged — the server stops waiting for a faulty tail and carries
+    whatever is still in transit forward as stale.  With ``quorum_count``
+    equal to the full surviving cohort the early exit can only fire at the
+    same instant the all-arrived condition does, which keeps the zero-fault
+    path bit-identical.
+    """
+
+    quorum_count: int
+    expected_absent: int = 0
+
+    def should_flush(self, buffered: int, outstanding: int) -> bool:
+        if outstanding <= 0 and self.expected_absent == 0:
+            return True
+        return buffered >= self.quorum_count
 
 
 @dataclass(frozen=True)

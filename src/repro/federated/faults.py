@@ -1,0 +1,385 @@
+"""Deterministic fault plane: injection, backoff, and the fault ledger.
+
+The scenario engine models *benign* variation — churn, stragglers,
+staleness.  This module models *failures*: a client crashing mid-training, a
+wire frame corrupted in transit, an enclave decrypt or attestation failing, a
+MixNN proxy crashing with buffered layer pieces, a server merge that must be
+retried.  Every hop of the round pipeline gains an injection point here and a
+recovery policy next to it (retry with exponential backoff, failover, or
+quorum-based degradation), so the "heavy traffic, production-scale" regimes
+in ROADMAP can be exercised under the failure modes a real deployment sees.
+
+Design rules, identical to the churn/latency models:
+
+* every fault decision is a pure function of
+  ``stable_seed(seed, "fault", kind, entity, round, attempt)`` — never a
+  shared sequential RNG — so fault schedules are bit-identical across runs,
+  execution orders, and ``parallelism`` settings;
+* a rate of ``0.0`` skips the hash draw entirely, which keeps the zero-fault
+  configuration bit-identical to the fault-free event path;
+* every *injected* fault instance lands in the :class:`FaultLedger` with a
+  resolution — ``retried``, ``failed-over``, or ``discarded`` — so the
+  accounting invariant ``injected == retried + failed_over + discarded``
+  holds by construction and is checkable per round.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..utils.rng import rng_from_seed, stable_seed
+
+__all__ = [
+    "FAULT_KINDS",
+    "RESOLUTIONS",
+    "POST_FLUSH_KINDS",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultLedger",
+]
+
+#: Every fault kind the injector can draw.  ``frame`` and ``timeout`` are
+#: transport-level (handled inside the virtual-time replay); the rest are
+#: handled after the round's flush and their recovery delay is appended to
+#: the round's simulated duration.
+FAULT_KINDS = (
+    "client-crash",
+    "frame",
+    "timeout",
+    "enclave",
+    "attestation",
+    "proxy-crash",
+    "mixnode-crash",
+    "merge",
+)
+
+#: How a fault instance was resolved (every ledger entry carries exactly one).
+RESOLUTIONS = ("retried", "failed-over", "discarded")
+
+#: Kinds whose recovery delay happens *after* the round's flush fired (the
+#: transport kinds' delays are already embodied in shifted arrival times).
+POST_FLUSH_KINDS = ("enclave", "attestation", "proxy-crash", "mixnode-crash", "merge")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault rates and recovery-policy knobs for one simulation.
+
+    All rates are independent per-draw probabilities in ``[0, 1)``; the
+    default of ``0.0`` everywhere is behaviour-identical (bit for bit) to
+    running without a fault plane at all.
+    """
+
+    #: P(a surviving client dies mid-training) per (client, round)
+    client_crash_rate: float = 0.0
+    #: P(a wire frame is corrupted in transit) per (client, round, attempt)
+    frame_corruption_rate: float = 0.0
+    #: P(an enclave decrypt transiently fails) per (sender, round, attempt)
+    enclave_failure_rate: float = 0.0
+    #: P(an attestation round-trip fails) per (round, attempt)
+    attestation_failure_rate: float = 0.0
+    #: P(the MixNN proxy crashes mid-round) per round; also the per-hop
+    #: mix-node crash rate of the cascade failover path
+    proxy_crash_rate: float = 0.0
+    #: P(a server merge attempt fails) per (round, attempt)
+    merge_failure_rate: float = 0.0
+    #: a sync round may close once this fraction of the surviving cohort has
+    #: merged (1.0 = wait for everyone, the fault-free semantics)
+    quorum_fraction: float = 1.0
+    #: total attempts per operation before the payload is discarded
+    max_attempts: int = 4
+    #: seconds before the first retry; attempt ``a`` waits
+    #: ``min(backoff_max, backoff_base * backoff_factor ** a)`` ± jitter
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    #: deterministic jitter as a ± fraction of the computed backoff
+    backoff_jitter: float = 0.1
+    #: per-hop ack timeout (simulated seconds): a transmission attempt slower
+    #: than this is abandoned and retried; ``None`` disables the timeout
+    hop_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "client_crash_rate",
+            "frame_corruption_rate",
+            "enclave_failure_rate",
+            "attestation_failure_rate",
+            "proxy_crash_rate",
+            "merge_failure_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(
+                    f"{name} must be in [0, 1) (1.0 would mean the operation can "
+                    f"never succeed), got {rate}"
+                )
+        if not 0.0 < self.quorum_fraction <= 1.0:
+            raise ValueError(
+                f"quorum_fraction must be in (0, 1] — the server must merge at "
+                f"least one update per round — got {self.quorum_fraction}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base <= 0:
+            raise ValueError(f"backoff_base must be > 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.backoff_max <= 0:
+            raise ValueError(f"backoff_max must be > 0, got {self.backoff_max}")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError(f"backoff_jitter must be in [0, 1), got {self.backoff_jitter}")
+        if self.hop_timeout is not None and self.hop_timeout <= 0:
+            raise ValueError(f"hop_timeout must be > 0 (or None), got {self.hop_timeout}")
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether any injection rate is non-zero."""
+        return any(
+            getattr(self, name) > 0.0
+            for name in (
+                "client_crash_rate",
+                "frame_corruption_rate",
+                "enclave_failure_rate",
+                "attestation_failure_rate",
+                "proxy_crash_rate",
+                "merge_failure_rate",
+            )
+        )
+
+    def quorum_count(self, cohort: int) -> int:
+        """Merged updates needed to close a round over ``cohort`` survivors."""
+        return max(1, math.ceil(self.quorum_fraction * cohort))
+
+
+class FaultInjector:
+    """Deterministic fault draws, keyed like the churn/latency models.
+
+    Every decision hashes ``(seed, "fault", kind, entity, round, attempt)``
+    into its own one-shot RNG; a zero rate returns without drawing, so the
+    all-zero config leaves the RNG universe untouched.
+    """
+
+    def __init__(self, seed: int, config: FaultConfig) -> None:
+        self.seed = int(seed)
+        self.config = config
+
+    def _draw(self, rate: float, *key) -> bool:
+        if rate <= 0.0:
+            return False
+        rng = rng_from_seed(stable_seed(self.seed, "fault", *key))
+        return float(rng.random()) < rate
+
+    # ------------------------------------------------------------------
+    # Injection draws (one per pipeline hop)
+    # ------------------------------------------------------------------
+    def client_crash(self, client_id: int, round_index: int) -> bool:
+        """Does this client die mid-training this round?"""
+        return self._draw(self.config.client_crash_rate, "client-crash", client_id, round_index)
+
+    def frame_fault(self, client_id: int, round_index: int, attempt: int) -> bool:
+        """Is this transmission attempt's wire frame corrupted in transit?"""
+        return self._draw(
+            self.config.frame_corruption_rate, "frame", client_id, round_index, attempt
+        )
+
+    def enclave_fault(self, entity: int, round_index: int, attempt: int) -> bool:
+        """Does this enclave decrypt attempt transiently fail?"""
+        return self._draw(self.config.enclave_failure_rate, "enclave", entity, round_index, attempt)
+
+    def attestation_fault(self, round_index: int, attempt: int) -> bool:
+        """Does this attestation round-trip fail?"""
+        return self._draw(self.config.attestation_failure_rate, "attestation", round_index, attempt)
+
+    def proxy_crash(self, round_index: int) -> bool:
+        """Does the MixNN proxy crash during this round's batch?"""
+        return self._draw(self.config.proxy_crash_rate, "proxy-crash", round_index)
+
+    def crash_point(self, round_index: int, num_messages: int) -> int:
+        """Index of the message the proxy was about to process when it died.
+
+        Uniform over ``[0, num_messages)``: messages before the point were
+        ingested (and possibly partially emitted), the rest never reached the
+        proxy and simply retransmit to the failover instance.
+        """
+        if num_messages <= 0:
+            return 0
+        rng = rng_from_seed(stable_seed(self.seed, "fault", "crash-point", round_index))
+        return int(rng.integers(num_messages))
+
+    def mix_node_crash(self, node_index: int, round_index: int, attempt: int) -> bool:
+        """Does cascade node ``node_index`` crash during this delivery attempt?"""
+        return self._draw(
+            self.config.proxy_crash_rate, "mixnode-crash", node_index, round_index, attempt
+        )
+
+    def merge_fault(self, round_index: int, attempt: int) -> bool:
+        """Does this server merge attempt fail?"""
+        return self._draw(self.config.merge_failure_rate, "merge", round_index, attempt)
+
+    # ------------------------------------------------------------------
+    # Recovery-policy draws
+    # ------------------------------------------------------------------
+    def backoff(self, kind: str, entity: int, round_index: int, attempt: int) -> float:
+        """Exponential backoff with deterministic ± jitter for a retry.
+
+        ``attempt`` is the 0-based index of the attempt that just failed; the
+        returned delay precedes attempt ``attempt + 1``.
+        """
+        config = self.config
+        base = min(config.backoff_max, config.backoff_base * config.backoff_factor**attempt)
+        if config.backoff_jitter == 0.0:
+            return float(base)
+        rng = rng_from_seed(stable_seed(self.seed, "fault", "backoff", kind, entity, round_index, attempt))
+        return float(base * (1.0 + config.backoff_jitter * (2.0 * float(rng.random()) - 1.0)))
+
+    def retry_latency(self, base_latency: float, client_id: int, round_index: int, attempt: int) -> float:
+        """Transit latency of a retransmission (attempt ``>= 1``).
+
+        A fresh deterministic draw scales the round's base latency by a
+        uniform factor in ``[0.5, 1.5)`` — network conditions vary between
+        attempts, which is what gives a timed-out hop a chance to recover.
+        """
+        if base_latency <= 0.0:
+            return 0.0
+        rng = rng_from_seed(
+            stable_seed(self.seed, "fault", "retry-latency", client_id, round_index, attempt)
+        )
+        return float(base_latency * (0.5 + float(rng.random())))
+
+    def corrupt_frame(self, blob: bytes, entity: int, round_index: int, attempt: int = 0) -> bytes:
+        """Deterministically corrupt a wire frame (for adversarial tests).
+
+        Draws a truncation point or a bit flip from the same keyed hash
+        space as the injection decisions, so a corrupted blob is reproducible
+        from the tuple alone.
+        """
+        if not blob:
+            return blob
+        rng = rng_from_seed(
+            stable_seed(self.seed, "fault", "corrupt", entity, round_index, attempt)
+        )
+        if float(rng.random()) < 0.5:
+            return blob[: int(rng.integers(len(blob)))]
+        mutated = bytearray(blob)
+        position = int(rng.integers(len(blob)))
+        mutated[position] ^= 1 << int(rng.integers(8))
+        return bytes(mutated)
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault instance and how the pipeline resolved it."""
+
+    kind: str
+    #: client id, proxy/node index, or -1 for server-side faults
+    entity: int
+    #: the round during which the fault was *handled* (a retried payload from
+    #: an earlier round is accounted to the round doing the retrying)
+    round_index: int
+    attempt: int = 0
+    resolution: str = ""
+    #: simulated seconds the recovery cost (backoff delay, failover setup)
+    delay_seconds: float = 0.0
+
+
+@dataclass
+class FaultLedger:
+    """Append-only account of every injected fault and its resolution.
+
+    The invariant ``injected == retried + failed_over + discarded`` holds by
+    construction: :meth:`record` is the only writer and requires a valid
+    resolution.  ``retransmissions`` counts payload re-sends triggered by a
+    failover (they are recovery work, not separately injected faults).
+    """
+
+    entries: list[FaultRecord] = field(default_factory=list)
+    retransmissions: int = 0
+
+    def record(
+        self,
+        kind: str,
+        entity: int,
+        round_index: int,
+        attempt: int = 0,
+        resolution: str = "",
+        delay_seconds: float = 0.0,
+    ) -> FaultRecord:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}")
+        if resolution not in RESOLUTIONS:
+            raise ValueError(
+                f"every fault needs a resolution from {RESOLUTIONS}, got {resolution!r}"
+            )
+        entry = FaultRecord(
+            kind=kind,
+            entity=int(entity),
+            round_index=int(round_index),
+            attempt=int(attempt),
+            resolution=resolution,
+            delay_seconds=float(delay_seconds),
+        )
+        self.entries.append(entry)
+        return entry
+
+    def note_retransmissions(self, count: int) -> None:
+        """Account payload re-sends performed during a failover."""
+        if count < 0:
+            raise ValueError(f"retransmission count must be >= 0, got {count}")
+        self.retransmissions += count
+
+    # ------------------------------------------------------------------
+    # Accounting views
+    # ------------------------------------------------------------------
+    @property
+    def injected(self) -> int:
+        return len(self.entries)
+
+    @property
+    def retried(self) -> int:
+        return sum(1 for e in self.entries if e.resolution == "retried")
+
+    @property
+    def failed_over(self) -> int:
+        return sum(1 for e in self.entries if e.resolution == "failed-over")
+
+    @property
+    def discarded(self) -> int:
+        return sum(1 for e in self.entries if e.resolution == "discarded")
+
+    def round_slice(self, round_index: int) -> list[FaultRecord]:
+        """Entries handled during one round."""
+        return [e for e in self.entries if e.round_index == round_index]
+
+    def counts(self) -> dict:
+        """Per-kind and per-resolution tallies."""
+        by_kind: dict[str, int] = {}
+        by_resolution: dict[str, int] = {}
+        for entry in self.entries:
+            by_kind[entry.kind] = by_kind.get(entry.kind, 0) + 1
+            by_resolution[entry.resolution] = by_resolution.get(entry.resolution, 0) + 1
+        return {"by_kind": by_kind, "by_resolution": by_resolution}
+
+    def validate(self) -> None:
+        """Check the accounting invariant; raises ``ValueError`` on breach."""
+        if self.injected != self.retried + self.failed_over + self.discarded:
+            raise ValueError(
+                f"fault ledger out of balance: {self.injected} injected != "
+                f"{self.retried} retried + {self.failed_over} failed over + "
+                f"{self.discarded} discarded"
+            )
+
+    def summary(self) -> dict:
+        """A serializable account for reports and benchmarks."""
+        self.validate()
+        return {
+            "injected": self.injected,
+            "retried": self.retried,
+            "failed_over": self.failed_over,
+            "discarded": self.discarded,
+            "retransmissions": self.retransmissions,
+            "recovery_seconds": round(sum(e.delay_seconds for e in self.entries), 6),
+            **self.counts(),
+        }

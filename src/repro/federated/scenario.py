@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..utils.rng import rng_from_seed, stable_seed
+from .faults import FaultConfig
 
 __all__ = [
     "ClientAvailability",
@@ -251,8 +252,12 @@ class ScenarioConfig:
     #: simulated seconds after which a sync round closes (requires ``latency``)
     deadline: float | None = None
     aggregation: str = "sync"
-    #: K of the FedBuff-style buffer (required in ``"buffered-async"`` mode)
+    #: K of the FedBuff-style buffer (buffered-async mode takes exactly one
+    #: of ``buffer_size`` and ``buffer_fraction``)
     buffer_size: int | None = None
+    #: alternative to ``buffer_size``: K as a fraction of the cohort that
+    #: actually dispatched each round, resolved via :meth:`effective_buffer_size`
+    buffer_fraction: float | None = None
     #: polynomial staleness discount exponent (0 = no down-weighting)
     staleness_alpha: float = 0.5
     #: in-flight updates older than this many rounds are discarded, not
@@ -260,6 +265,10 @@ class ScenarioConfig:
     #: buffer persistently smaller than the arrival rate would accumulate
     #: full model states without limit.  ``None`` = keep everything forever.
     max_staleness: int | None = 10
+    #: fault-injection rates and recovery policy; ``None`` (and likewise a
+    #: :class:`~repro.federated.faults.FaultConfig` with all-zero rates) is
+    #: bit-identical to the fault-free event path.
+    faults: FaultConfig | None = None
 
     def __post_init__(self) -> None:
         if self.aggregation not in AGGREGATION_MODES:
@@ -268,21 +277,57 @@ class ScenarioConfig:
             )
         if self.deadline is not None:
             if self.deadline <= 0:
-                raise ValueError(f"deadline must be > 0, got {self.deadline}")
+                raise ValueError(
+                    f"deadline must be > 0 simulated seconds (a non-positive deadline "
+                    f"would close every round before anything can arrive), got {self.deadline}"
+                )
             if self.latency is None:
                 raise ValueError("a deadline requires a latency model to measure against")
+        if self.buffer_fraction is not None and not 0.0 < self.buffer_fraction <= 1.0:
+            raise ValueError(
+                f"buffer_fraction must be in (0, 1] — it is the share of each "
+                f"round's dispatched cohort the async buffer waits for — got "
+                f"{self.buffer_fraction}"
+            )
         if self.aggregation == "buffered-async":
-            if self.buffer_size is None or self.buffer_size < 1:
+            if self.buffer_size is None and self.buffer_fraction is None:
+                raise ValueError(
+                    "buffered-async aggregation requires buffer_size >= 1 or "
+                    "buffer_fraction in (0, 1]"
+                )
+            if self.buffer_size is not None and self.buffer_fraction is not None:
+                raise ValueError(
+                    "buffer_size and buffer_fraction are mutually exclusive; "
+                    "pick one way to size the async buffer"
+                )
+            if self.buffer_size is not None and self.buffer_size < 1:
                 raise ValueError(
                     f"buffered-async aggregation requires buffer_size >= 1, got {self.buffer_size}"
                 )
-        elif self.buffer_size is not None:
-            raise ValueError("buffer_size only applies to buffered-async aggregation")
+        else:
+            if self.buffer_size is not None:
+                raise ValueError("buffer_size only applies to buffered-async aggregation")
+            if self.buffer_fraction is not None:
+                raise ValueError("buffer_fraction only applies to buffered-async aggregation")
         if self.staleness_alpha < 0:
-            raise ValueError(f"staleness_alpha must be >= 0, got {self.staleness_alpha}")
+            raise ValueError(
+                f"staleness_alpha must be >= 0 (it is the exponent of the "
+                f"(1 + staleness)^-alpha discount; negative values would "
+                f"up-weight stale updates), got {self.staleness_alpha}"
+            )
         if self.max_staleness is not None and self.max_staleness < 0:
             raise ValueError(f"max_staleness must be >= 0, got {self.max_staleness}")
 
     @property
     def is_async(self) -> bool:
         return self.aggregation == "buffered-async"
+
+    def effective_buffer_size(self, dispatched: int) -> int:
+        """Resolve the async buffer's K for a round that dispatched ``dispatched``
+        clients: ``buffer_size`` verbatim, or ``buffer_fraction`` of the cohort
+        (at least 1)."""
+        if self.buffer_size is not None:
+            return self.buffer_size
+        if self.buffer_fraction is None:
+            raise ValueError("neither buffer_size nor buffer_fraction is configured")
+        return max(1, int(round(self.buffer_fraction * dispatched)))

@@ -49,6 +49,8 @@ class AggregationServer:
         broadcast_hook: Callable[[int, dict], dict] | None = None,
         retain_received: int | None = 0,
         staleness_alpha: float | None = None,
+        fault_injector=None,
+        fault_ledger=None,
     ) -> None:
         self.global_state = {k: np.asarray(v, dtype=np.float32).copy() for k, v in initial_state.items()}
         self.sample_weighted = sample_weighted
@@ -61,6 +63,9 @@ class AggregationServer:
         if retain_received is not None and retain_received < 0:
             raise ValueError(f"retain_received must be >= 0 or None, got {retain_received}")
         self._retain_received = retain_received
+        #: fault plane hooks — injected merge failures retry with backoff
+        self._fault_injector = fault_injector
+        self._fault_ledger = fault_ledger
         #: rounds of received updates, newest last (empty unless opted in)
         self.received_log: "deque[list[ModelUpdate]]" = deque(
             maxlen=retain_received if retain_received is not None else None
@@ -109,6 +114,17 @@ class AggregationServer:
             )
         for observer in self.observers:
             observer.on_round(self.round_index, self._last_broadcast, updates)
+        injector, ledger = self._fault_injector, self._fault_ledger
+        if injector is not None and injector.config.merge_failure_rate > 0:
+            # A crashed/delayed merge is retried against the same buffered
+            # updates; the delay lands on the round's recovery time budget.
+            for attempt in range(injector.config.max_attempts):
+                if not injector.merge_fault(self.round_index, attempt):
+                    break
+                delay = injector.backoff("merge", -1, self.round_index, attempt)
+                ledger.record(
+                    "merge", -1, self.round_index, attempt, "retried", delay_seconds=delay
+                )
         if self._retain_received is None or self._retain_received > 0:
             self.received_log.append(updates)
         self.global_state = aggregate_updates(

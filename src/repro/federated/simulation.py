@@ -46,6 +46,7 @@ not the training computation.
 from __future__ import annotations
 
 import os
+import pickle
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
@@ -68,9 +69,12 @@ from .events import (
     ClientUpdateArrival,
     EventScheduler,
     FlushPolicy,
+    QuorumFlushPolicy,
     RoundDeadline,
     SyncFlushPolicy,
+    TransmissionFailure,
 )
+from .faults import POST_FLUSH_KINDS, FaultInjector, FaultLedger
 from .scenario import AlwaysAvailable, ScenarioConfig
 from .server import AggregationServer
 from .update import ModelUpdate
@@ -169,6 +173,25 @@ class RoundRecord:
     #: merged updates per simulated second (0 when the round took no
     #: simulated time, i.e. no latency model was configured)
     effective_throughput: float = 0.0
+    #: surviving clients killed mid-training by the fault injector
+    num_crashed: int = 0
+    #: payloads (arrivals + pending retries) still in transit when the round
+    #: closed — they land, retried or stale, in a later round
+    num_carried_forward: int = 0
+    #: fault-ledger entries handled during this round
+    num_faults: int = 0
+    #: of those, resolved by a backoff retry (plus failover retransmissions)
+    num_retries: int = 0
+    #: of those, resolved by failing over to fresh infrastructure
+    num_failed_over: int = 0
+    #: of those, discarded after exhausting the attempt budget
+    num_fault_discarded: int = 0
+    #: total simulated seconds spent on recovery (backoffs, failover setup)
+    recovery_seconds: float = 0.0
+    #: quorum size the sync flush policy would settle for (0 = no fault plane)
+    quorum_target: int = 0
+    #: individual non-zero recovery delays, for percentile summaries
+    recovery_latencies: list[float] = field(default_factory=list)
 
 
 @dataclass
@@ -181,6 +204,9 @@ class SimulationResult:
     #: raw updates per round as received by the server (Figure 9 input)
     received_updates: list[list[ModelUpdate]]
     attack: object | None = None
+    #: the run's :class:`~repro.federated.faults.FaultLedger` (empty without
+    #: a fault plane) — every injected fault and its resolution
+    fault_ledger: FaultLedger | None = None
 
     def accuracy_curve(self) -> list[float]:
         return [r.global_accuracy for r in self.rounds]
@@ -273,6 +299,9 @@ class FederatedSimulation:
         # The simulation owns its received-update history (the server keeps
         # none by default — see AggregationServer.retain_received).
         self._received_log: list[list[ModelUpdate]] = []
+        # Completed-round records live on the instance (not a run() local) so
+        # checkpoint/resume can restart mid-run from the last finished round.
+        self._records: list[RoundRecord] = []
         # The persistent virtual clock: arrival/deadline/flush events live
         # here across rounds, so buffered-async updates genuinely stay in
         # transit over round boundaries (their events pop when the clock
@@ -291,14 +320,29 @@ class FederatedSimulation:
         if attack is not None and getattr(attack, "mode", None) == "active":
             broadcast_hook = attack.craft_broadcast
         scenario = config.scenario
+        # Fault plane: one injector (pure hash draws, stateless) and one
+        # append-only ledger per run.  Without a FaultConfig the injector is
+        # None and every fault hook below is a no-op.
+        faults = scenario.faults if scenario is not None else None
+        self.fault_ledger = FaultLedger()
+        self._fault_injector = FaultInjector(config.seed, faults) if faults is not None else None
         self.server = AggregationServer(
             initial_model.state_dict(),
             sample_weighted=config.sample_weighted,
             broadcast_hook=broadcast_hook,
+            # Quorum rounds carry unmerged payloads forward as stale, so a
+            # fault plane needs the staleness discount even in sync mode
+            # (aggregation is unchanged until something stale actually lands).
             staleness_alpha=(
-                scenario.staleness_alpha if scenario is not None and scenario.is_async else None
+                scenario.staleness_alpha
+                if scenario is not None and (scenario.is_async or faults is not None)
+                else None
             ),
+            fault_injector=self._fault_injector,
+            fault_ledger=self.fault_ledger,
         )
+        if self._fault_injector is not None:
+            self.defense.attach_fault_plane(self._fault_injector, self.fault_ledger)
         if attack is not None:
             if getattr(attack, "truth", None) is None:
                 attack.truth = {c.client_id: c.attribute for c in dataset.clients()}
@@ -360,28 +404,97 @@ class FederatedSimulation:
     # ------------------------------------------------------------------
     # Scenario engine (virtual-time, event-driven)
     # ------------------------------------------------------------------
+    def _schedule_transmission(
+        self, update: ModelUpdate, dispatch_time: float, origin_round: int, attempt: int
+    ) -> None:
+        """Schedule one transmission attempt, drawing its transport faults.
+
+        Attempt 0 of a fault-free draw produces an arrival event with exactly
+        the fields the non-faulted dispatch path would — bit-identical event
+        stream.  A retry (``attempt >= 1``) redraws its transit latency; its
+        arrival's ``latency`` spans the *full* dispatch→arrival interval
+        including every backoff, so merged-latency metrics tell the truth.
+        """
+        injector = self._fault_injector
+        faults = self.config.scenario.faults
+        client_id = update.sender_id
+        base = update.metadata.get("latency", 0.0)
+        transit = (
+            base
+            if attempt == 0
+            else injector.retry_latency(base, client_id, origin_round, attempt)
+        )
+        origin_dispatch = update.metadata.get("dispatch_time", dispatch_time)
+        if faults.hop_timeout is not None and transit > faults.hop_timeout:
+            # The per-hop ack timer expires before the frame lands: the
+            # sender learns at dispatch + timeout, not after the full transit.
+            self._scheduler.schedule(
+                TransmissionFailure(
+                    time=dispatch_time + faults.hop_timeout,
+                    client_id=client_id,
+                    origin_round=origin_round,
+                    dispatch_time=dispatch_time,
+                    latency=transit,
+                    attempt=attempt,
+                    kind="timeout",
+                    update=update,
+                )
+            )
+            return
+        if injector.frame_fault(client_id, origin_round, attempt):
+            # Corruption is detected by the receiver at the would-be arrival
+            # instant (RW01 framing surfaces it as a typed error, never a
+            # silent mis-parse) and NACKed back.
+            self._scheduler.schedule(
+                TransmissionFailure(
+                    time=dispatch_time + transit,
+                    client_id=client_id,
+                    origin_round=origin_round,
+                    dispatch_time=dispatch_time,
+                    latency=transit,
+                    attempt=attempt,
+                    kind="frame",
+                    update=update,
+                )
+            )
+            return
+        arrival_time = dispatch_time + transit
+        self._scheduler.schedule(
+            ClientUpdateArrival(
+                time=arrival_time,
+                client_id=client_id,
+                origin_round=origin_round,
+                dispatch_time=origin_dispatch,
+                latency=arrival_time - origin_dispatch,
+                update=update,
+            )
+        )
+
     def _replay_until_flush(
         self, round_index: int, policy: FlushPolicy, expected: int
-    ) -> tuple[list[ClientUpdateArrival], float, int]:
+    ) -> tuple[list[ClientUpdateArrival], float, int, int]:
         """Consume events in time order until the round's flush fires.
 
-        Returns ``(merged, flush_time, discarded)``: the arrival events the
-        server buffered (in consumption = time order), the virtual-clock
-        timestamp at which the round closed, and how many arrivals were
-        discarded for exceeding ``max_staleness``.  ``expected`` is the
-        number of arrival events that can still pop this round (this round's
-        dispatches plus the async in-flight backlog).
+        Returns ``(merged, flush_time, discarded, lost)``: the arrival events
+        the server buffered (in consumption = time order), the virtual-clock
+        timestamp at which the round closed, how many arrivals were discarded
+        for exceeding ``max_staleness``, and how many payloads were lost to
+        transport faults after exhausting their attempt budget.  ``expected``
+        is the number of payload events that can still resolve this round
+        (this round's dispatches plus the in-flight backlog).
         """
         scenario = self.config.scenario
         scheduler = self._scheduler
+        ledger = self.fault_ledger
         merged: list[ClientUpdateArrival] = []
         discarded = 0
+        lost = 0
         deadline_lapsed = False
         while True:
             if len(scheduler) == 0:
                 # Nothing else can ever arrive: close at the current clock
                 # (buffered-async with fewer than K reachable arrivals).
-                return merged, scheduler.now, discarded
+                return merged, scheduler.now, discarded, lost
             event = scheduler.pop()
             if isinstance(event, ClientUpdateArrival):
                 staleness = round_index - event.origin_round
@@ -389,7 +502,7 @@ class FederatedSimulation:
                     discarded += 1
                 else:
                     merged.append(event)
-                outstanding = expected - len(merged) - discarded
+                outstanding = expected - len(merged) - discarded - lost
                 if merged and (
                     deadline_lapsed or policy.should_flush(len(merged), outstanding)
                 ):
@@ -397,13 +510,43 @@ class FederatedSimulation:
                     # arrivals still in the heap, so exactly this buffer is
                     # merged (FedBuff's "first K", sync's "all dispatched").
                     scheduler.schedule(BufferFlush(time=event.time, round_index=round_index))
+            elif isinstance(event, TransmissionFailure):
+                faults = scenario.faults
+                if event.attempt + 1 >= faults.max_attempts:
+                    # Attempt budget exhausted: the payload is gone.  The
+                    # flush condition must be re-checked — one fewer payload
+                    # can ever arrive, which may make the round closeable.
+                    ledger.record(
+                        event.kind, event.client_id, round_index, event.attempt, "discarded"
+                    )
+                    lost += 1
+                    outstanding = expected - len(merged) - discarded - lost
+                    if merged and (
+                        deadline_lapsed or policy.should_flush(len(merged), outstanding)
+                    ):
+                        scheduler.schedule(BufferFlush(time=event.time, round_index=round_index))
+                else:
+                    delay = self._fault_injector.backoff(
+                        event.kind, event.client_id, event.origin_round, event.attempt
+                    )
+                    ledger.record(
+                        event.kind,
+                        event.client_id,
+                        round_index,
+                        event.attempt,
+                        "retried",
+                        delay_seconds=delay,
+                    )
+                    self._schedule_transmission(
+                        event.update, event.time + delay, event.origin_round, event.attempt + 1
+                    )
             elif isinstance(event, BufferFlush):
                 if event.round_index == round_index:
-                    return merged, event.time, discarded
+                    return merged, event.time, discarded, lost
             elif isinstance(event, RoundDeadline):
                 if event.round_index == round_index:
                     if merged:
-                        return merged, event.time, discarded
+                        return merged, event.time, discarded, lost
                     # The timer fired before anything arrived, but updates may
                     # still be in transit — a server cannot aggregate nothing,
                     # so the round stays open and closes at the very next
@@ -435,6 +578,26 @@ class FederatedSimulation:
             for client in selected
             if availability.is_available(seed, client.client_id, round_index)
         ]
+        num_dropped = len(selected) - len(surviving)
+        injector = self._fault_injector
+        num_crashed = 0
+        if injector is not None and scenario.faults.client_crash_rate > 0:
+            # Mid-training crashes: the device died after dispatch, so its
+            # work (and its update) is simply gone this round — a discarded
+            # fault, not churn (the server selected and broadcast to it).
+            crashed = [
+                client
+                for client in surviving
+                if injector.client_crash(client.client_id, round_index)
+            ]
+            if crashed:
+                crashed_ids = {client.client_id for client in crashed}
+                surviving = [c for c in surviving if c.client_id not in crashed_ids]
+                for client in crashed:
+                    self.fault_ledger.record(
+                        "client-crash", client.client_id, round_index, 0, "discarded"
+                    )
+                num_crashed = len(crashed)
         latencies: dict[int, float] = {}
         if scenario.latency is not None:
             latencies = {
@@ -445,7 +608,8 @@ class FederatedSimulation:
             round_index=round_index,
             global_accuracy=float("nan"),
             num_selected=len(selected),
-            num_dropped=len(selected) - len(surviving),
+            num_dropped=num_dropped,
+            num_crashed=num_crashed,
             round_start=round_start,
         )
 
@@ -466,51 +630,75 @@ class FederatedSimulation:
                     if scenario.deadline is not None
                     else ""
                 )
+                crash_part = f", {num_crashed} crashed mid-training" if num_crashed else ""
                 raise RuntimeError(
                     f"round {round_index}: no client survived the scenario — "
                     f"{len(selected)} selected, {stats.num_dropped} dropped out"
-                    f"{deadline_part}; lower the dropout probability, extend the "
-                    "deadline, or select more clients per round"
+                    f"{crash_part}{deadline_part}; lower the dropout probability, "
+                    "extend the deadline, or select more clients per round"
                 )
             to_train = arrivers
             # The server knows dispatch failures (churn) immediately but not
             # who will straggle: while stragglers are outstanding the
             # all-arrived condition is unreachable and only the deadline
             # timer closes the round.
-            policy: FlushPolicy = SyncFlushPolicy(expected_absent=stats.num_stragglers)
+            if injector is not None:
+                # Graceful degradation: with a fault plane the server settles
+                # for a quorum of the post-crash cohort instead of waiting
+                # out a faulty tail.  quorum_fraction=1.0 only fires at the
+                # same instant all-arrived would — the fault-free semantics.
+                policy: FlushPolicy = QuorumFlushPolicy(
+                    quorum_count=scenario.faults.quorum_count(len(surviving)),
+                    expected_absent=stats.num_stragglers,
+                )
+                stats.quorum_target = policy.quorum_count
+            else:
+                policy = SyncFlushPolicy(expected_absent=stats.num_stragglers)
         else:
             to_train = surviving
-            policy = BufferedFlushPolicy(buffer_size=scenario.buffer_size)
+            policy = BufferedFlushPolicy(
+                buffer_size=scenario.effective_buffer_size(len(to_train))
+            )
 
         # Train through the flat-plane thread pool *before* replaying virtual
         # time: each update is a pure function of (client, round), so the
         # event engine only decides when results arrive, never what they are.
         trained = self._train_clients(to_train, broadcast_state, round_index)
-        in_flight = len(scheduler.pending_arrivals()) if scenario.is_async else 0
+        if injector is not None:
+            # Payloads pending a retry count toward the backlog too: their
+            # arrival (or final discard) still resolves in some round.
+            in_flight = len(scheduler.in_flight_payloads())
+        else:
+            in_flight = len(scheduler.pending_arrivals()) if scenario.is_async else 0
         for update in trained:
             latency = latencies.get(update.sender_id, 0.0)
             update.metadata["latency"] = latency
             update.metadata["origin_round"] = round_index
             update.metadata["dispatch_time"] = round_start
-            scheduler.schedule(
-                ClientUpdateArrival(
-                    time=round_start + latency,
-                    client_id=update.sender_id,
-                    origin_round=round_index,
-                    dispatch_time=round_start,
-                    latency=latency,
-                    update=update,
+            if injector is not None:
+                self._schedule_transmission(update, round_start, round_index, 0)
+            else:
+                scheduler.schedule(
+                    ClientUpdateArrival(
+                        time=round_start + latency,
+                        client_id=update.sender_id,
+                        origin_round=round_index,
+                        dispatch_time=round_start,
+                        latency=latency,
+                        update=update,
+                    )
                 )
-            )
         if scenario.deadline is not None:
             scheduler.schedule(
                 RoundDeadline(time=round_start + scenario.deadline, round_index=round_index)
             )
 
-        merged, flush_time, discarded = self._replay_until_flush(
+        merged, flush_time, discarded, lost = self._replay_until_flush(
             round_index, policy, expected=len(trained) + in_flight
         )
         stats.num_discarded = discarded
+        if injector is not None:
+            stats.num_carried_forward = len(scheduler.in_flight_payloads())
         if scenario.is_async:
             # This round's dispatches still in transit when the buffer
             # flushed (they stay scheduled and land in a later round).
@@ -550,6 +738,10 @@ class FederatedSimulation:
     def run_round(self) -> RoundRecord:
         """One iteration of the Figure 2 / Figure 3 flow."""
         round_index = self.server.round_index
+        # Marks into the fault ledger: everything recorded past here was
+        # handled during this round and lands on this round's record.
+        ledger_mark = len(self.fault_ledger.entries)
+        retransmission_mark = self.fault_ledger.retransmissions
         broadcast_state = self.server.broadcast()
 
         if self.config.scenario is None:
@@ -573,6 +765,33 @@ class FederatedSimulation:
             self._received_log.append(received)
 
         record.num_aggregated = len(received)
+        new_entries = self.fault_ledger.entries[ledger_mark:]
+        if new_entries:
+            # Recovery delays of post-flush kinds (enclave retries, proxy
+            # failover, attestation, merge retries) happen after the round's
+            # flush fired: the virtual clock and the round duration absorb
+            # them here.  Transport-kind delays are already embodied in the
+            # shifted arrival times the replay measured.
+            post_flush = sum(
+                e.delay_seconds for e in new_entries if e.kind in POST_FLUSH_KINDS
+            )
+            if post_flush > 0.0:
+                self._scheduler.advance(post_flush)
+                record.simulated_duration += post_flush
+            record.num_faults = len(new_entries)
+            record.num_retries = sum(1 for e in new_entries if e.resolution == "retried") + (
+                self.fault_ledger.retransmissions - retransmission_mark
+            )
+            record.num_failed_over = sum(
+                1 for e in new_entries if e.resolution == "failed-over"
+            )
+            record.num_fault_discarded = sum(
+                1 for e in new_entries if e.resolution == "discarded"
+            )
+            record.recovery_seconds = sum(e.delay_seconds for e in new_entries)
+            record.recovery_latencies = [
+                e.delay_seconds for e in new_entries if e.delay_seconds > 0.0
+            ]
         if record.simulated_duration > 0.0:
             record.effective_throughput = record.num_aggregated / record.simulated_duration
         record.mean_local_loss = mean_loss
@@ -588,12 +807,95 @@ class FederatedSimulation:
         return record
 
     def run(self) -> SimulationResult:
-        """Run all configured rounds and collect the result bundle."""
-        records = [self.run_round() for _ in range(self.config.rounds)]
+        """Run all remaining rounds and collect the result bundle.
+
+        Resume-aware: after :meth:`restore_checkpoint` only the rounds not
+        yet in the record list execute, so a killed run restarted from its
+        last checkpoint produces bit-identical records and final weights.
+        """
+        while len(self._records) < self.config.rounds:
+            self._records.append(self.run_round())
         return SimulationResult(
-            rounds=records,
+            rounds=list(self._records),
             final_state=self.server.global_state,
             defense_name=self.defense.name,
             received_updates=self._received_log,
             attack=self.attack,
+            fault_ledger=self.fault_ledger,
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> bytes:
+        """Serialize everything needed to resume after the last finished round.
+
+        Clients are *not* serialized: their training RNG is a pure function
+        of ``(seed, client_id, round)``, so they are stateless across rounds.
+        What does carry state — the RNG streams, the virtual clock with its
+        in-flight events, the defense (a MixNN proxy may hold enclave keys
+        and mixing RNG state), the fault ledger, and the server's aggregate —
+        is pickled.  Attacks hold arbitrary observer state and are not
+        supported.
+        """
+        if self.attack is not None:
+            raise RuntimeError(
+                "checkpoint/resume does not support an attached attack — "
+                "attacks hold arbitrary observer state outside the simulation"
+            )
+        state = {
+            "version": 1,
+            "seed": self.config.seed,
+            "records": self._records,
+            "server_round_index": self.server.round_index,
+            "global_state": {k: v.copy() for k, v in self.server.global_state.items()},
+            "selection_rng": self._selection_rng.bit_generator.state,
+            "defense_rng": self._defense_rng.bit_generator.state,
+            "scheduler": self._scheduler,
+            "received_log": self._received_log,
+            "defense": self.defense,
+            "ledger": self.fault_ledger,
+        }
+        return pickle.dumps(state)
+
+    def restore_checkpoint(self, blob: bytes) -> None:
+        """Restore state captured by :meth:`checkpoint` (same config + seed)."""
+        if self.attack is not None:
+            raise RuntimeError(
+                "checkpoint/resume does not support an attached attack — "
+                "attacks hold arbitrary observer state outside the simulation"
+            )
+        state = pickle.loads(blob)
+        if state.get("version") != 1:
+            raise ValueError(f"unsupported checkpoint version {state.get('version')!r}")
+        if state.get("seed") != self.config.seed:
+            raise ValueError(
+                f"checkpoint was taken with seed {state.get('seed')}, this simulation "
+                f"is configured with seed {self.config.seed} — resuming would not be "
+                "bit-identical"
+            )
+        self._records = list(state["records"])
+        self.server.round_index = state["server_round_index"]
+        self.server.global_state = state["global_state"]
+        self._selection_rng.bit_generator.state = state["selection_rng"]
+        self._defense_rng.bit_generator.state = state["defense_rng"]
+        self._scheduler = state["scheduler"]
+        self._received_log = list(state["received_log"])
+        self.defense = state["defense"]
+        self.fault_ledger = state["ledger"]
+        # Re-wire the live fault plane: the unpickled defense carries copies
+        # of the hooks; point everything back at this simulation's objects.
+        self.server._fault_ledger = self.fault_ledger
+        if self._fault_injector is not None:
+            self.server._fault_injector = self._fault_injector
+            self.defense.attach_fault_plane(self._fault_injector, self.fault_ledger)
+
+    def save_checkpoint(self, path) -> None:
+        """Write :meth:`checkpoint` bytes to ``path``."""
+        with open(path, "wb") as handle:
+            handle.write(self.checkpoint())
+
+    def load_checkpoint(self, path) -> None:
+        """Restore from a file written by :meth:`save_checkpoint`."""
+        with open(path, "rb") as handle:
+            self.restore_checkpoint(handle.read())

@@ -71,6 +71,14 @@ class RoundTimingSummary:
     effective_throughput: float
     #: mean fraction of a round the average participant idled after uploading
     mean_idle_fraction: float
+    #: fault-plane profile (all zero for fault-free runs)
+    total_faults: int = 0
+    total_retries: int = 0
+    total_recovery_seconds: float = 0.0
+    #: percentiles over individual non-zero recovery delays (backoffs,
+    #: failover setup) — how long one fault takes to recover from
+    recovery_p50_seconds: float = 0.0
+    recovery_p99_seconds: float = 0.0
 
     def as_row(self) -> dict:
         return {
@@ -80,6 +88,11 @@ class RoundTimingSummary:
             "p95_round_s": round(self.p95_round_seconds, 4),
             "merged_per_s": round(self.effective_throughput, 4),
             "idle_fraction": round(self.mean_idle_fraction, 4),
+            "faults": self.total_faults,
+            "retries": self.total_retries,
+            "recovery_s": round(self.total_recovery_seconds, 4),
+            "recovery_p50_s": round(self.recovery_p50_seconds, 4),
+            "recovery_p99_s": round(self.recovery_p99_seconds, 4),
         }
 
 
@@ -92,6 +105,13 @@ def summarize_round_timing(records) -> RoundTimingSummary:
     total = float(durations.sum())
     merged = float(sum(r.num_aggregated for r in records))
     timed = [r.idle_fraction for r in records if r.simulated_duration > 0.0]
+    # getattr with defaults: pre-fault-plane records (or mocks) summarize as
+    # fault-free rather than erroring.
+    recovery = [
+        float(delay)
+        for r in records
+        for delay in getattr(r, "recovery_latencies", [])
+    ]
     return RoundTimingSummary(
         rounds=len(records),
         total_seconds=total,
@@ -99,6 +119,13 @@ def summarize_round_timing(records) -> RoundTimingSummary:
         p95_round_seconds=float(np.percentile(durations, 95)),
         effective_throughput=merged / total if total > 0.0 else 0.0,
         mean_idle_fraction=float(np.mean(timed)) if timed else 0.0,
+        total_faults=int(sum(getattr(r, "num_faults", 0) for r in records)),
+        total_retries=int(sum(getattr(r, "num_retries", 0) for r in records)),
+        total_recovery_seconds=float(
+            sum(getattr(r, "recovery_seconds", 0.0) for r in records)
+        ),
+        recovery_p50_seconds=float(np.percentile(recovery, 50)) if recovery else 0.0,
+        recovery_p99_seconds=float(np.percentile(recovery, 99)) if recovery else 0.0,
     )
 
 

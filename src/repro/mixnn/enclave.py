@@ -38,6 +38,7 @@ __all__ = [
     "EnclaveCostModel",
     "AttestationQuote",
     "EnclaveError",
+    "UpdateDecryptError",
     "SGXEnclaveSim",
     "EPC_USABLE_BYTES",
     "EPC_RESERVED_BYTES",
@@ -50,6 +51,22 @@ EPC_USABLE_BYTES = 96 * 1024 * 1024
 
 class EnclaveError(Exception):
     """Raised on attestation failures and protocol misuse."""
+
+
+class UpdateDecryptError(CryptoError):
+    """One item of a decrypt batch failed, identified by its client.
+
+    Subclasses :class:`~repro.mixnn.crypto.CryptoError` so callers catching
+    the crypto failure keep working, while batch consumers can read which
+    client's ciphertext was poisoned (``item_id``, ``index``) and skip just
+    that item instead of losing the whole round.
+    """
+
+    def __init__(self, item_id, index: int, cause: Exception) -> None:
+        super().__init__(f"ciphertext from client {item_id} (batch index {index}) failed: {cause}")
+        self.item_id = item_id
+        self.index = index
+        self.cause = cause
 
 
 @dataclass(frozen=True)
@@ -215,7 +232,13 @@ class SGXEnclaveSim:
         self.allocate(len(plaintext))
         return plaintext
 
-    def decrypt_many(self, ciphertexts: list[bytes], max_workers: int | None = None) -> list[bytes]:
+    def decrypt_many(
+        self,
+        ciphertexts: list[bytes],
+        max_workers: int | None = None,
+        ids: list | None = None,
+        on_error: str = "raise",
+    ) -> list:
         """Decrypt a batch of updates, raising throughput with a thread pool.
 
         The RSA-KEM, the fused native keystream and the HMAC all release the
@@ -224,23 +247,44 @@ class SGXEnclaveSim:
         allocated serially in *message order* after all plaintexts are
         recovered, so the simulated clock and EPC counters are bit-identical
         to a sequential run.
+
+        ``ids`` labels each item (e.g. transport-level client ids) for error
+        reporting; it defaults to the batch index.  Failures surface
+        *per item* as :class:`UpdateDecryptError` naming the offending
+        client: ``on_error="raise"`` raises at the first bad item,
+        ``on_error="collect"`` returns the error object in that item's slot
+        so one poisoned ciphertext cannot kill the whole batch.
         """
+        if on_error not in ("raise", "collect"):
+            raise ValueError(f'on_error must be "raise" or "collect", got {on_error!r}')
+        if ids is None:
+            ids = list(range(len(ciphertexts)))
+        elif len(ids) != len(ciphertexts):
+            raise ValueError(f"{len(ids)} ids for {len(ciphertexts)} ciphertexts")
         if max_workers is None:
             max_workers = min(8, os.cpu_count() or 1)
         if max_workers <= 1 or len(ciphertexts) <= 1:
-            return [self.decrypt_update(c) for c in ciphertexts]
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(self._decrypt_only, ciphertexts))
-        plaintexts: list[bytes] = []
-        for ciphertext, (plaintext, error) in zip(ciphertexts, results):
+            results = [self._decrypt_only(c) for c in ciphertexts]
+        else:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                results = list(pool.map(self._decrypt_only, ciphertexts))
+        out: list = []
+        for index, (ciphertext, item_id, (plaintext, error)) in enumerate(
+            zip(ciphertexts, ids, results)
+        ):
             if error is not None:
+                # A failed decrypt costs the same as a successful one.
                 self._charge(self.cost_model.decrypt_cost(len(ciphertext)))
-                raise error
+                wrapped = UpdateDecryptError(item_id, index, error)
+                if on_error == "raise":
+                    raise wrapped from error
+                out.append(wrapped)
+                continue
             cost = self.cost_model.decrypt_cost(len(ciphertext)) + self.cost_model.store_cost(len(plaintext))
             self._charge(cost)
             self.allocate(len(plaintext))
-            plaintexts.append(plaintext)
-        return plaintexts
+            out.append(plaintext)
+        return out
 
     def _decrypt_only(self, ciphertext: bytes) -> tuple[bytes | None, CryptoError | None]:
         """Pure crypto work, safe to run off-thread (no shared-state writes)."""

@@ -123,6 +123,62 @@ class MixCascade:
             current = emitted
         return current
 
+    def send_batch_with_failover(
+        self,
+        payloads: list[bytes],
+        injector,
+        round_index: int = 0,
+        ledger=None,
+    ) -> list[bytes]:
+        """Push raw payloads through the cascade, re-routing around crashes.
+
+        Unlike :meth:`send_batch`, this takes *plaintext* payloads and wraps
+        them itself, because a node crash changes the route: the surviving
+        cascade has different keys, so every message must be re-onioned from
+        scratch.  Per attempt, each hop draws a deterministic crash from
+        ``injector`` (keyed ``(node index, round, attempt)``); a crashed node
+        is removed from the route (its buffered batch is lost with it) and the
+        whole batch retransmits over the shrunken cascade.  Raises
+        :class:`RuntimeError` if every node has crashed.
+        """
+        surviving = list(self.nodes)
+        attempt = 0
+        while True:
+            if not surviving:
+                raise RuntimeError(
+                    f"mix cascade has no surviving nodes in round {round_index}; "
+                    "cannot deliver the batch"
+                )
+            route_keys = [node.public_key for node in surviving]
+            crashed = None
+            for hop, node in enumerate(surviving):
+                if injector.mix_node_crash(hop, round_index, attempt):
+                    crashed = hop
+                    break
+            if crashed is not None:
+                if ledger is not None:
+                    delay = injector.backoff("mixnode-crash", crashed, round_index, attempt)
+                    ledger.record(
+                        "mixnode-crash",
+                        crashed,
+                        round_index,
+                        attempt,
+                        "failed-over",
+                        delay_seconds=delay,
+                    )
+                    ledger.note_retransmissions(len(payloads))
+                surviving.pop(crashed)
+                attempt += 1
+                continue
+            current = [onion_encrypt(payload, route_keys) for payload in payloads]
+            for node in surviving:
+                emitted: list[bytes] = []
+                for blob in current:
+                    emitted.extend(node.receive(blob))
+                emitted.extend(node.flush())
+                current = emitted
+            return current
+
     @property
     def dropped(self) -> int:
         return sum(node.dropped for node in self.nodes)

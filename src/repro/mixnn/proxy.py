@@ -33,7 +33,7 @@ import numpy as np
 
 from ..federated.update import ModelUpdate
 from ..nn.serialization import schema_of
-from .enclave import SGXEnclaveSim
+from .enclave import SGXEnclaveSim, UpdateDecryptError
 from .mixing import _mixing_units
 from .oram import ObliviousList
 from .transport import EncryptedUpdate, pack_update, unpack_update
@@ -50,6 +50,10 @@ class ProxyStats:
     flushes: int = 0
     bytes_in: int = 0
     bytes_out: int = 0
+    #: abrupt restarts simulated via :meth:`MixNNProxy.crash`
+    crashes: int = 0
+    #: poisoned ciphertexts skipped (genuine per-item decrypt failures)
+    decrypt_failures: int = 0
 
 
 class MixNNProxy:
@@ -85,6 +89,12 @@ class MixNNProxy:
         self._lists: "OrderedDict[int, ObliviousList]" = OrderedDict()
         self._pending_ids: deque[int] = deque()
         self._round_index = 0
+        # sender_id -> buffered (not yet emitted) layer pieces; drives the
+        # intact/partial split when the proxy crashes with state in flight.
+        self._piece_counts: dict[int, int] = {}
+        #: fault plane hooks (attached by the defense; ``None`` = fault-free)
+        self.fault_injector = None
+        self.fault_ledger = None
 
     # ------------------------------------------------------------------
     # Participant-facing helpers
@@ -127,6 +137,9 @@ class MixNNProxy:
             piece = tuple(state[name] for name in unit)
             self._lists[unit_index].insert((piece, update.sender_id, staleness))
         self._pending_ids.append(update.sender_id)
+        self._piece_counts[update.sender_id] = (
+            self._piece_counts.get(update.sender_id, 0) + len(self._units)
+        )
 
     def _compose(self) -> ModelUpdate:
         """Draw one random element per layer list and emit a mixed update."""
@@ -140,6 +153,11 @@ class MixNNProxy:
             sources.append(source)
             unit_staleness.append(staleness)
             pieces.append(piece)
+            remaining = self._piece_counts.get(source, 0) - 1
+            if remaining > 0:
+                self._piece_counts[source] = remaining
+            else:
+                self._piece_counts.pop(source, None)
         state: "OrderedDict[str, np.ndarray]" = OrderedDict(
             (name, pieces[unit_index][member_index])
             for name, (unit_index, member_index) in zip(self._schema, self._compose_index)
@@ -232,27 +250,97 @@ class MixNNProxy:
         self.stats.flushes += 1
         return out
 
-    def process_round(self, messages: list[EncryptedUpdate]) -> list[ModelUpdate]:
-        """Stream a whole round's messages through a decryption pool, then flush.
+    def stream(
+        self, messages: list[EncryptedUpdate], round_hint: int | None = None
+    ) -> list[ModelUpdate]:
+        """Ingest a batch of messages through the decryption pool, no flush.
 
         Ciphertexts are decrypted concurrently (:meth:`SGXEnclaveSim.decrypt_many`
         — the DEM and MAC release the GIL), while the §4.3 mixing state machine
         itself runs in message order, so the emission sequence and RNG draws
         are identical to calling :meth:`receive` one message at a time.  The
         EPC accounting honestly reflects the batch buffering: all decrypted
-        plaintexts are resident at once before ingestion begins.  With ``C``
-        arrivals this emits exactly ``C`` mixed updates
+        plaintexts are resident at once before ingestion begins.
+
+        A poisoned ciphertext is skipped (``stats.decrypt_failures``) instead
+        of killing the batch; with the fault plane attached, injected enclave
+        faults retry with backoff, charging each retry's decrypt cost and
+        recording a ledger entry.  ``round_hint`` keys those fault draws.
+        """
+        results = self.enclave.decrypt_many(
+            [message.ciphertext for message in messages],
+            max_workers=self.max_workers,
+            ids=[message.transport_id for message in messages],
+            on_error="collect",
+        )
+        injector, ledger = self.fault_injector, self.fault_ledger
+        emitted: list[ModelUpdate] = []
+        for message, result in zip(messages, results):
+            if isinstance(result, UpdateDecryptError):
+                self.stats.decrypt_failures += 1
+                continue
+            if injector is not None and injector.config.enclave_failure_rate > 0:
+                round_index = round_hint if round_hint is not None else self._round_index
+                for attempt in range(injector.config.max_attempts):
+                    if not injector.enclave_fault(message.transport_id, round_index, attempt):
+                        break
+                    delay = injector.backoff(
+                        "enclave", message.transport_id, round_index, attempt
+                    )
+                    ledger.record(
+                        "enclave",
+                        message.transport_id,
+                        round_index,
+                        attempt,
+                        "retried",
+                        delay_seconds=delay,
+                    )
+                    # Each retry re-runs the in-enclave decrypt.
+                    self._charge_retry(len(message.ciphertext))
+            maybe = self._ingest(result, len(message.ciphertext))
+            if maybe is not None:
+                emitted.append(maybe)
+        return emitted
+
+    def _charge_retry(self, ciphertext_len: int) -> None:
+        self.enclave._charge(self.enclave.cost_model.decrypt_cost(ciphertext_len))
+
+    def crash(self) -> tuple[list[int], list[int]]:
+        """Simulate an abrupt proxy restart: buffered layer pieces are lost.
+
+        Returns ``(intact, partial)`` sender ids: *intact* senders still had
+        every layer piece buffered (nothing of theirs was emitted, so they
+        can safely retransmit their whole update to a failover proxy);
+        *partial* senders had some pieces already mixed into emissions —
+        their remaining pieces are unrecoverable without double-forwarding
+        already-delivered layers, so a failover coordinator drops them (the
+        quorum policy absorbs the loss).  In full-round mode (``k`` = cohort)
+        nothing emits before the flush, so every buffered sender is intact
+        and the §4.2 aggregate is exactly preserved across the failover.
+        """
+        num_units = len(self._units) if self._units else 0
+        intact = sorted(s for s, c in self._piece_counts.items() if num_units and c == num_units)
+        partial = sorted(s for s, c in self._piece_counts.items() if 0 < c < num_units)
+        total_pieces = sum(self._piece_counts.values())
+        if num_units and total_pieces:
+            self.enclave.free(int(round(self._update_nbytes * total_pieces / num_units)))
+        if self._units is not None:
+            self._lists = OrderedDict((i, ObliviousList(self.k)) for i in range(len(self._units)))
+        self._pending_ids.clear()
+        self._piece_counts = {}
+        self.stats.crashes += 1
+        return intact, partial
+
+    def process_round(
+        self, messages: list[EncryptedUpdate], round_hint: int | None = None
+    ) -> list[ModelUpdate]:
+        """Stream a whole round's messages, then flush.
+
+        With ``C`` arrivals this emits exactly ``C`` mixed updates
         (``C − k`` during streaming, ``k`` at flush), i.e. the §4.2 case
         ``L = C``.
         """
-        plaintexts = self.enclave.decrypt_many(
-            [message.ciphertext for message in messages], max_workers=self.max_workers
-        )
-        emitted: list[ModelUpdate] = []
-        for message, plaintext in zip(messages, plaintexts):
-            maybe = self._ingest(plaintext, len(message.ciphertext))
-            if maybe is not None:
-                emitted.append(maybe)
+        emitted = self.stream(messages, round_hint=round_hint)
         emitted.extend(self.flush())
         return emitted
 

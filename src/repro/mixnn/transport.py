@@ -17,7 +17,7 @@ import json
 from dataclasses import dataclass
 
 from ..federated.update import ModelUpdate
-from ..nn.serialization import flat_from_bytes, flat_to_bytes, schema_of, state_to_bytes
+from ..nn.serialization import FrameError, flat_from_bytes, flat_to_bytes, schema_of, state_to_bytes
 from .crypto import PublicKey, encrypt
 
 __all__ = ["EncryptedUpdate", "pack_update", "unpack_update", "update_nbytes"]
@@ -79,18 +79,35 @@ def unpack_update(plaintext: bytes) -> ModelUpdate:
 
     The returned update lives on the flat parameter plane: ``flat_vector``
     is a single zero-copy read-only view over the payload and the state dict
-    is schema views onto it.
+    is schema views onto it.  A malformed envelope or body raises
+    :class:`~repro.nn.serialization.FrameError` — truncation and bit flips
+    are surfaced as typed errors, never silently mis-parsed.
     """
+    if len(plaintext) < _HEADER_LEN_BYTES:
+        raise FrameError(
+            f"truncated message: {len(plaintext)} bytes is too short for the envelope length"
+        )
     header_len = int.from_bytes(plaintext[:_HEADER_LEN_BYTES], "big")
-    header = json.loads(plaintext[_HEADER_LEN_BYTES : _HEADER_LEN_BYTES + header_len].decode())
+    if header_len > len(plaintext) - _HEADER_LEN_BYTES:
+        raise FrameError(
+            f"corrupt envelope: header length {header_len} exceeds the "
+            f"{len(plaintext) - _HEADER_LEN_BYTES} bytes that follow it"
+        )
+    try:
+        header = json.loads(plaintext[_HEADER_LEN_BYTES : _HEADER_LEN_BYTES + header_len].decode())
+        sender_id = int(header["sender_id"])
+        round_index = int(header["round_index"])
+        num_samples = int(header["num_samples"])
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        raise FrameError("corrupt envelope header (not the expected JSON fields)") from exc
     schema, vector = flat_from_bytes(plaintext[_HEADER_LEN_BYTES + header_len :])
     metadata = {}
     if "staleness" in header:
         metadata["staleness"] = int(header["staleness"])
     return ModelUpdate(
-        sender_id=int(header["sender_id"]),
-        round_index=int(header["round_index"]),
-        num_samples=int(header["num_samples"]),
+        sender_id=sender_id,
+        round_index=round_index,
+        num_samples=num_samples,
         state=schema.views(vector),
         metadata=metadata,
         flat_vector=vector,

@@ -38,6 +38,7 @@ import numpy as np
 from .module import Module
 
 __all__ = [
+    "FrameError",
     "StateSpec",
     "StateSchema",
     "spec_of",
@@ -51,6 +52,18 @@ __all__ = [
     "save_state",
     "load_state",
 ]
+
+
+class FrameError(ValueError):
+    """A state blob violates the ``RW01`` framing contract.
+
+    Raised on unknown magic, a header length pointing outside the blob, a
+    header that is not the expected JSON shape, or a payload whose size does
+    not match the declared schema — every adversarial truncation or bit-flip
+    lands here (or in the crypto layer's MAC check) rather than mis-parsing
+    silently.  Subclasses ``ValueError`` so pre-existing callers keep
+    working.
+    """
 
 #: Magic prefix of the raw framed state encoding ("Raw Weights v1").
 _RAW_MAGIC = b"RW01"
@@ -251,30 +264,67 @@ def state_to_bytes(state: dict) -> bytes:
     return b"".join(parts)
 
 
+def _parse_raw_header(blob: bytes) -> tuple[tuple[str, ...], tuple[tuple[int, ...], ...], int]:
+    """Validate and parse an ``RW01`` header; returns (names, shapes, offset).
+
+    Every structural violation — truncated length field, header length past
+    the end of the blob, non-JSON header bytes, missing/malformed
+    names/shapes — raises :class:`FrameError` before any payload is read.
+    """
+    if len(blob) < 8:
+        raise FrameError(
+            f"truncated frame: {len(blob)} bytes is too short for the RW01 "
+            "magic and header length"
+        )
+    header_len = int.from_bytes(blob[4:8], "big")
+    if header_len > len(blob) - 8:
+        raise FrameError(
+            f"corrupt frame: header length {header_len} exceeds the "
+            f"{len(blob) - 8} bytes that follow it"
+        )
+    try:
+        header = json.loads(blob[8 : 8 + header_len].decode())
+        names = tuple(str(n) for n in header["names"])
+        shapes = tuple(tuple(int(d) for d in shape) for shape in header["shapes"])
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        # json.JSONDecodeError subclasses ValueError; a flipped bit in the
+        # header lands here rather than mis-parsing.
+        raise FrameError("corrupt frame header (not the expected JSON schema)") from exc
+    if len(names) != len(shapes):
+        raise FrameError(f"corrupt frame header: {len(names)} names for {len(shapes)} shapes")
+    if any(d < 0 for shape in shapes for d in shape):
+        raise FrameError("corrupt frame header: negative dimension in a shape")
+    return names, shapes, 8 + header_len
+
+
 def state_from_bytes(blob: bytes) -> "OrderedDict[str, np.ndarray]":
     """Inverse of :func:`state_to_bytes`, preserving key order.
 
     Raw-framed blobs re-materialize as zero-copy float32 views onto ``blob``
     (read-only; every consumer that mutates copies first).  Legacy ``.npz``
-    blobs are detected by magic and loaded through numpy.
+    blobs are detected by magic and loaded through numpy.  Malformed frames
+    raise :class:`FrameError`.
     """
     if blob[:4] == _ZIP_MAGIC:
         with np.load(io.BytesIO(blob)) as archive:
             return OrderedDict((name, archive[name]) for name in archive.files)
     if blob[:4] != _RAW_MAGIC:
-        raise ValueError("unrecognized state encoding (neither raw-framed nor .npz)")
-    header_len = int.from_bytes(blob[4:8], "big")
-    header = json.loads(blob[8 : 8 + header_len].decode())
+        raise FrameError("unrecognized state encoding (neither raw-framed nor .npz)")
+    names, shapes, offset = _parse_raw_header(blob)
+    sizes = [int(np.prod(shape)) if shape else 1 for shape in shapes]
+    expected = offset + 4 * sum(sizes)
+    if expected != len(blob):
+        excess = len(blob) - expected
+        detail = f"{excess} trailing bytes" if excess > 0 else "truncated"
+        raise FrameError(
+            f"corrupt frame: payload is {len(blob) - offset} bytes but the "
+            f"header declares {expected - offset} ({detail})"
+        )
     out: "OrderedDict[str, np.ndarray]" = OrderedDict()
-    offset = 8 + header_len
-    for name, shape in zip(header["names"], header["shapes"]):
-        size = int(np.prod(shape)) if shape else 1
-        nbytes = 4 * size
+    for name, shape, size in zip(names, shapes, sizes):
         array = np.frombuffer(blob, dtype=np.float32, count=size, offset=offset)
         out[name] = array.reshape(shape)
-        offset += nbytes
-    if offset != len(blob):
-        raise ValueError(f"state blob has {len(blob) - offset} trailing bytes")
+        offset += 4 * size
     return out
 
 
@@ -311,17 +361,17 @@ def flat_from_bytes(blob: bytes) -> tuple[StateSchema, np.ndarray]:
         schema = schema_of(state)
         return schema, schema.pack(state)
     if blob[:4] != _RAW_MAGIC:
-        raise ValueError("unrecognized state encoding (neither raw-framed nor .npz)")
-    header_len = int.from_bytes(blob[4:8], "big")
-    header = json.loads(blob[8 : 8 + header_len].decode())
-    schema = _intern_schema(
-        tuple(header["names"]),
-        tuple(tuple(int(d) for d in shape) for shape in header["shapes"]),
-    )
-    offset = 8 + header_len
+        raise FrameError("unrecognized state encoding (neither raw-framed nor .npz)")
+    names, shapes, offset = _parse_raw_header(blob)
+    schema = _intern_schema(names, shapes)
     expected = offset + 4 * schema.total_size
     if expected != len(blob):
-        raise ValueError(f"state blob has {len(blob) - expected} trailing bytes")
+        excess = len(blob) - expected
+        detail = f"{excess} trailing bytes" if excess > 0 else "truncated"
+        raise FrameError(
+            f"corrupt frame: payload is {len(blob) - offset} bytes but the "
+            f"schema declares {expected - offset} ({detail})"
+        )
     vector = np.frombuffer(blob, dtype=np.float32, count=schema.total_size, offset=offset)
     return schema, vector
 

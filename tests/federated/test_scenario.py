@@ -87,6 +87,33 @@ class TestScenarioConfigValidation:
         with pytest.raises(ValueError, match="staleness_alpha"):
             ScenarioConfig(staleness_alpha=-1.0)
 
+    def test_non_positive_deadline_rejected_with_actionable_message(self):
+        with pytest.raises(ValueError, match="deadline must be > 0"):
+            ScenarioConfig(latency=FixedLatency(1.0), deadline=0.0)
+        with pytest.raises(ValueError, match="close every round"):
+            ScenarioConfig(latency=FixedLatency(1.0), deadline=-2.0)
+
+    def test_buffer_fraction_range(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="buffer_fraction"):
+                ScenarioConfig(aggregation="buffered-async", buffer_fraction=bad)
+
+    def test_buffer_size_and_fraction_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ScenarioConfig(aggregation="buffered-async", buffer_size=4, buffer_fraction=0.5)
+
+    def test_buffer_fraction_rejected_in_sync_mode(self):
+        with pytest.raises(ValueError, match="buffer_fraction"):
+            ScenarioConfig(buffer_fraction=0.5)
+
+    def test_effective_buffer_size(self):
+        by_size = ScenarioConfig(aggregation="buffered-async", buffer_size=4)
+        assert by_size.effective_buffer_size(10) == 4
+        by_fraction = ScenarioConfig(aggregation="buffered-async", buffer_fraction=0.6)
+        assert by_fraction.effective_buffer_size(10) == 6
+        # never below one, even for a tiny dispatch
+        assert by_fraction.effective_buffer_size(1) == 1
+
 
 class TestClientsPerRoundValidation:
     def test_zero_clients_per_round_rejected(self):
