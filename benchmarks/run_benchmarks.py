@@ -328,6 +328,95 @@ def fault_recovery() -> list[dict]:
     return rows
 
 
+BYZANTINE_ROUNDS = 4
+BYZANTINE_ATTACK_SCALE = 100.0
+
+
+def byzantine_robustness() -> list[dict]:
+    """Attack penetration and filter quality per aggregation policy.
+
+    One miniature federation per (rule × attacker-fraction) cell in the
+    :data:`repro.experiments.extensions.BYZANTINE_RULES` ×
+    :data:`repro.experiments.extensions.BYZANTINE_FRACTIONS` sweep under a
+    sign-flip adversary (the same sweep the runner's ``byzantine`` command
+    reports, so snapshots never drift from the experiment).  Reports attack
+    success rate, main-task accuracy, filter precision/recall, and the
+    measured cost of verifying the hash-chained round transcript.  Each
+    run's adversary ledger is validated before its row is recorded.
+    Deterministic, so a single run per cell is exact — no timing repeats.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.data import SyntheticMotionSense
+    from repro.experiments.extensions import (
+        BYZANTINE_FRACTIONS,
+        BYZANTINE_RULES,
+        make_scenario,
+    )
+    from repro.experiments.models import model_fn_for
+    from repro.federated import (
+        AdversaryConfig,
+        FederatedSimulation,
+        LocalTrainingConfig,
+        SimulationConfig,
+    )
+    from repro.metrics.robustness import summarize_robustness
+
+    rows = []
+    baselines: dict[str, float] = {}
+    for rule in BYZANTINE_RULES:
+        for fraction in BYZANTINE_FRACTIONS:
+            dataset = SyntheticMotionSense(
+                seed=0,
+                windows_per_activity=4,
+                test_windows_per_activity=1,
+                background_subjects_per_gender=2,
+            )
+            scenario = dc_replace(
+                make_scenario("sync-full", 0.0, dataset.num_clients),
+                adversary=AdversaryConfig(
+                    fraction=fraction, kind="sign-flip", scale=BYZANTINE_ATTACK_SCALE
+                ),
+            )
+            config = SimulationConfig(
+                rounds=BYZANTINE_ROUNDS,
+                local=LocalTrainingConfig(local_epochs=1, batch_size=64),
+                seed=0,
+                track_per_client_accuracy=False,
+                scenario=scenario,
+                aggregation=rule,
+            )
+            sim = FederatedSimulation(dataset, model_fn_for(dataset), config)
+            start = time.perf_counter()
+            result = sim.run()
+            wall = time.perf_counter() - start
+            summary = summarize_robustness(result, baseline_accuracy=baselines.get(rule))
+            verify_start = time.perf_counter()
+            result.transcript.verify()
+            verify_seconds = time.perf_counter() - verify_start
+            if fraction == 0.0:
+                baselines[rule] = summary.final_accuracy
+            rows.append(
+                {
+                    "rule": rule,
+                    "attacker_fraction": fraction,
+                    "attack": "sign-flip",
+                    "wall_seconds": wall,
+                    "final_accuracy": summary.final_accuracy,
+                    "accuracy_drop": summary.accuracy_drop,
+                    "injected": summary.injected,
+                    "merged": summary.merged,
+                    "filtered": summary.filtered,
+                    "rejected": summary.rejected,
+                    "attack_success_rate": summary.attack_success_rate,
+                    "filter_precision": summary.filter_precision,
+                    "filter_recall": summary.filter_recall,
+                    "transcript_verify_seconds": verify_seconds,
+                }
+            )
+    return rows
+
+
 def collect(repeats: int) -> dict:
     from repro.experiments.system_perf import run_system_perf
     from repro.federated.update import aggregate_updates, aggregate_updates_reference
@@ -372,6 +461,7 @@ def collect(repeats: int) -> dict:
     results["scenario_round_throughput"] = scenario_round_throughput(repeats)
     results["deadline_throughput_frontier"] = deadline_throughput_frontier()
     results["fault_recovery"] = fault_recovery()
+    results["byzantine_robustness"] = byzantine_robustness()
     perf = run_system_perf()
     results["system_perf"] = {
         section: [row.__dict__ for row in rows] for section, rows in perf.items()

@@ -31,6 +31,10 @@ class Defense(abc.ABC):
     _fault_injector = None
     _fault_ledger = None
 
+    #: adversary plane hooks; ``None`` until :meth:`attach_adversary_plane`.
+    _adversary_injector = None
+    _adversary_ledger = None
+
     def attach_fault_plane(self, injector, ledger) -> None:
         """Wire the simulation's fault injector/ledger into this defense.
 
@@ -39,6 +43,16 @@ class Defense(abc.ABC):
         """
         self._fault_injector = injector
         self._fault_ledger = ledger
+
+    def attach_adversary_plane(self, injector, ledger) -> None:
+        """Wire the simulation's Byzantine adversary plane into this defense.
+
+        Defenses that own transport infrastructure use the hooks to inject
+        adversary behaviour *below* the update layer (e.g. the MixNN defense
+        replays attacker ciphertexts against the proxy's replay guard).
+        """
+        self._adversary_injector = injector
+        self._adversary_ledger = ledger
 
     @abc.abstractmethod
     def process_round(

@@ -122,6 +122,19 @@ class MixNNDefense(Defense):
         order = rng.permutation(len(updates))
         ordered = [updates[i] for i in order]
         messages = [proxy.encrypt_for_proxy(u) for u in ordered]
+        adversary = self._adversary_injector
+        if adversary is not None and adversary.config.replay_rate > 0:
+            # A replaying attacker re-sends its own ciphertext verbatim; the
+            # proxy's nonce guard rejects the duplicate and counts it, so the
+            # ledger records the rejection at injection time (by construction).
+            replays = []
+            for update, message in zip(ordered, messages):
+                if adversary.should_replay(update.sender_id, round_index):
+                    replays.append(message)
+                    self._adversary_ledger.record(
+                        "replay", update.sender_id, round_index, "rejected"
+                    )
+            messages = messages + replays
         if (
             injector is not None
             and injector.config.proxy_crash_rate > 0

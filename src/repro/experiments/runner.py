@@ -18,6 +18,7 @@ engine::
     python -m repro.experiments.runner frontier --rounds 5
     python -m repro.experiments.runner dirichlet-churn --alphas 10,0.3
     python -m repro.experiments.runner chaos --proxy-crash-rates 0,0.05,0.2 --quorum 0.7
+    python -m repro.experiments.runner byzantine --attack sign-flip --attacker-fractions 0,0.1,0.3
 
 All scenario knobs (churn probability, latency shape, aggregation scheme,
 deadline, buffer fraction) are validated at argparse time — a bad value dies
@@ -38,7 +39,7 @@ __all__ = ["main", "run_experiment", "run_scenario_experiment"]
 EXPERIMENTS = ("figure5", "figure6", "figure7", "figure8", "figure9", "system")
 #: virtual-time scenario studies (not part of ``all``, which regenerates the
 #: paper's figures only)
-SCENARIO_EXPERIMENTS = ("scenario", "frontier", "dirichlet-churn", "chaos")
+SCENARIO_EXPERIMENTS = ("scenario", "frontier", "dirichlet-churn", "chaos", "byzantine")
 
 
 def _render_checks(checks: dict[str, bool]) -> str:
@@ -139,6 +140,21 @@ def run_scenario_experiment(name: str, args: argparse.Namespace) -> str:
             latency_median=args.latency_median,
         )
         lines.append(extensions.render_chaos(rows))
+    elif name == "byzantine":
+        rows = extensions.run_byzantine_comparison(
+            args.dataset,
+            scale=args.scale,
+            seed=args.seed,
+            rounds=args.rounds if args.rounds is not None else 3,
+            attack=args.attack,
+            attack_scale=args.attack_scale,
+            fractions=args.attacker_fractions,
+            rules=args.rules,
+            defenses=args.byzantine_defenses,
+            replay_rate=args.replay_rate,
+            dropout=args.dropout,
+        )
+        lines.append(extensions.render_byzantine_comparison(rows))
     else:
         raise KeyError(
             f"unknown scenario experiment {name!r}; choose from {SCENARIO_EXPERIMENTS}"
@@ -218,6 +234,18 @@ def _fraction_list(label: str):
         values = _positive_list(label)(text)
         if any(value > 1.0 for value in values):
             raise argparse.ArgumentTypeError(f"{label} must be in (0, 1], got {text!r}")
+        return values
+
+    return parse
+
+
+def _choice_list(label: str, allowed: tuple[str, ...]):
+    def parse(text: str) -> tuple[str, ...]:
+        values = tuple(part.strip() for part in text.split(",") if part.strip())
+        if not values or any(value not in allowed for value in values):
+            raise argparse.ArgumentTypeError(
+                f"{label} must be comma-separated values from {allowed}, got {text!r}"
+            )
         return values
 
     return parse
@@ -351,6 +379,50 @@ def main(argv: list[str] | None = None) -> int:
         type=_positive_float,
         default=None,
         help="per-hop timeout in simulated seconds (default: no timeout)",
+    )
+
+    from ..federated.adversary import ATTACK_KINDS
+    from .extensions import BYZANTINE_FRACTIONS, BYZANTINE_RULES
+
+    byzantine = parser.add_argument_group(
+        "adversary knobs", "consumed by the byzantine command (seeded poisoning adversaries)"
+    )
+    byzantine.add_argument(
+        "--attack",
+        default="sign-flip",
+        choices=ATTACK_KINDS,
+        help="poisoning attack every active attacker applies",
+    )
+    byzantine.add_argument(
+        "--attack-scale",
+        type=_positive_float,
+        default=100.0,
+        help="sign-flip / scaling magnitude of the poisoned delta",
+    )
+    byzantine.add_argument(
+        "--attacker-fractions",
+        type=_probability_list("attacker fractions"),
+        default=BYZANTINE_FRACTIONS,
+        help="comma-separated per-(client, round) Byzantine probability sweep "
+        "(include 0 for the clean baseline rows)",
+    )
+    byzantine.add_argument(
+        "--rules",
+        type=_choice_list("rules", BYZANTINE_RULES),
+        default=BYZANTINE_RULES,
+        help="comma-separated aggregation policies to score",
+    )
+    byzantine.add_argument(
+        "--byzantine-defenses",
+        type=_choice_list("byzantine defenses", ("none", "mixnn")),
+        default=("none", "mixnn"),
+        help="comma-separated transport defenses to cross with the rules",
+    )
+    byzantine.add_argument(
+        "--replay-rate",
+        type=_probability,
+        default=0.0,
+        help="per-(attacker, round) ciphertext replay probability (MixNN path)",
     )
     args = parser.parse_args(argv)
 

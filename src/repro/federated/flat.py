@@ -321,6 +321,8 @@ class FlatUpdateBatch:
     def trimmed_mean(self, trim: int) -> np.ndarray:
         """Coordinate-wise mean after dropping ``trim`` extremes per side."""
         count = len(self)
+        if trim < 0:
+            raise ValueError(f"trim must be >= 0, got {trim}")
         if 2 * trim >= count:
             raise ValueError(f"trim={trim} removes all of {count} updates")
         ordered = np.sort(self.matrix, axis=0)

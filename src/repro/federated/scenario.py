@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..utils.rng import rng_from_seed, stable_seed
+from .adversary import AdversaryConfig
 from .faults import FaultConfig
 
 __all__ = [
@@ -269,6 +270,10 @@ class ScenarioConfig:
     #: :class:`~repro.federated.faults.FaultConfig` with all-zero rates) is
     #: bit-identical to the fault-free event path.
     faults: FaultConfig | None = None
+    #: Byzantine adversary plane; ``None`` (and likewise an
+    #: :class:`~repro.federated.adversary.AdversaryConfig` with zero fraction
+    #: and no explicit attackers) is bit-identical to the adversary-free path.
+    adversary: AdversaryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.aggregation not in AGGREGATION_MODES:

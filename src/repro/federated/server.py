@@ -23,6 +23,8 @@ from typing import Callable, Protocol
 import numpy as np
 
 from ..nn import Module
+from .aggregation import AggregationPolicy, AggregationReport
+from .integrity import RoundTranscript, state_digest, update_digest
 from .update import ModelUpdate, aggregate_updates
 
 __all__ = ["ServerObserver", "AggregationServer"]
@@ -51,6 +53,8 @@ class AggregationServer:
         staleness_alpha: float | None = None,
         fault_injector=None,
         fault_ledger=None,
+        policy: AggregationPolicy | None = None,
+        transcript: RoundTranscript | None = None,
     ) -> None:
         self.global_state = {k: np.asarray(v, dtype=np.float32).copy() for k, v in initial_state.items()}
         self.sample_weighted = sample_weighted
@@ -66,6 +70,13 @@ class AggregationServer:
         #: fault plane hooks — injected merge failures retry with backoff
         self._fault_injector = fault_injector
         self._fault_ledger = fault_ledger
+        #: selectable robust-aggregation rule; ``None`` is the classical mean
+        self.policy = policy
+        #: hash-chained audit log of every merge (always on — pure SHA-256
+        #: bookkeeping, no RNG or numeric effect on the aggregate)
+        self.transcript = transcript if transcript is not None else RoundTranscript()
+        #: what the last merge kept/dropped (participant-level filtering)
+        self.last_aggregation_report: AggregationReport | None = None
         #: rounds of received updates, newest last (empty unless opted in)
         self.received_log: "deque[list[ModelUpdate]]" = deque(
             maxlen=retain_received if retain_received is not None else None
@@ -127,10 +138,32 @@ class AggregationServer:
                 )
         if self._retain_received is None or self._retain_received > 0:
             self.received_log.append(updates)
-        self.global_state = aggregate_updates(
-            updates,
-            sample_weighted=self.sample_weighted,
-            staleness_alpha=self.staleness_alpha,
+        policy = self.policy
+        if policy is None or policy.rule == "mean":
+            new_state = aggregate_updates(
+                updates,
+                sample_weighted=self.sample_weighted,
+                staleness_alpha=self.staleness_alpha,
+            )
+            kept: tuple[int, ...] = tuple(range(len(updates)))
+            dropped: tuple[int, ...] = ()
+            rule = "mean"
+        else:
+            new_state, kept, dropped = policy.aggregate(
+                updates,
+                reference=self.global_state,
+                sample_weighted=self.sample_weighted,
+                staleness_alpha=self.staleness_alpha,
+            )
+            rule = policy.rule
+        self.last_aggregation_report = AggregationReport(rule=rule, kept=kept, dropped=dropped)
+        self.transcript.append(
+            round_index=self.round_index,
+            rule=rule,
+            updates=[(u.apparent_id, update_digest(u)) for u in updates],
+            kept=list(kept),
+            aggregate_digest=state_digest(new_state),
         )
+        self.global_state = new_state
         self.round_index += 1
         return self.global_state

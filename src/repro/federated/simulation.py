@@ -74,6 +74,8 @@ from .events import (
     SyncFlushPolicy,
     TransmissionFailure,
 )
+from .adversary import AdversaryInjector, AdversaryLedger, update_contributors
+from .aggregation import AGGREGATION_RULES, AggregationPolicy
 from .faults import POST_FLUSH_KINDS, FaultInjector, FaultLedger
 from .scenario import AlwaysAvailable, ScenarioConfig
 from .server import AggregationServer
@@ -111,10 +113,20 @@ class SimulationConfig:
     retain_received_updates: bool = True
     #: churn / straggler / async operating regime; ``None`` = paper flow.
     scenario: ScenarioConfig | None = None
+    #: server aggregation rule — a name from
+    #: :data:`~repro.federated.aggregation.AGGREGATION_RULES` or a full
+    #: :class:`~repro.federated.aggregation.AggregationPolicy`.  ``"mean"``
+    #: (the default) takes the classical FedAvg path, bit for bit.
+    aggregation: "str | AggregationPolicy" = "mean"
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if isinstance(self.aggregation, str) and self.aggregation not in AGGREGATION_RULES:
+            raise ValueError(
+                f"unknown aggregation rule {self.aggregation!r}; choose one of "
+                f"{AGGREGATION_RULES} or pass an AggregationPolicy"
+            )
         if self.clients_per_round is not None and self.clients_per_round < 1:
             raise ValueError(
                 f"clients_per_round must be >= 1 (or None for the full cohort), "
@@ -123,6 +135,14 @@ class SimulationConfig:
             )
         if self.parallelism is not None and self.parallelism < 1:
             raise ValueError(f"parallelism must be >= 1 (or None for auto), got {self.parallelism}")
+
+    def aggregation_policy(self) -> "AggregationPolicy | None":
+        """The server policy this config selects (``None`` = classical mean)."""
+        if isinstance(self.aggregation, AggregationPolicy):
+            return self.aggregation
+        if self.aggregation == "mean":
+            return None
+        return AggregationPolicy(rule=self.aggregation)
 
 
 @dataclass
@@ -192,6 +212,18 @@ class RoundRecord:
     quorum_target: int = 0
     #: individual non-zero recovery delays, for percentile summaries
     recovery_latencies: list[float] = field(default_factory=list)
+    #: trained updates poisoned by the adversary plane this round
+    num_poisoned: int = 0
+    #: poisons (injected this or an earlier round) that reached the global
+    #: model at this round's merge — directly or as a chimera layer source
+    num_poison_merged: int = 0
+    #: poisons filtered out at this round's merge by the aggregation policy
+    num_poison_filtered: int = 0
+    #: replayed ciphertexts the proxy's replay guard rejected this round
+    num_replays_rejected: int = 0
+    #: updates the aggregation policy dropped at this round's merge
+    #: (participant-level filtering: norm filter / Krum selection)
+    num_filtered: int = 0
 
 
 @dataclass
@@ -207,6 +239,11 @@ class SimulationResult:
     #: the run's :class:`~repro.federated.faults.FaultLedger` (empty without
     #: a fault plane) — every injected fault and its resolution
     fault_ledger: FaultLedger | None = None
+    #: the run's :class:`~repro.federated.adversary.AdversaryLedger` (empty
+    #: without an adversary plane) — every injected attack and its resolution
+    adversary_ledger: AdversaryLedger | None = None
+    #: the server's hash-chained round transcript (always present)
+    transcript: object | None = None
 
     def accuracy_curve(self) -> list[float]:
         return [r.global_accuracy for r in self.rounds]
@@ -326,6 +363,14 @@ class FederatedSimulation:
         faults = scenario.faults if scenario is not None else None
         self.fault_ledger = FaultLedger()
         self._fault_injector = FaultInjector(config.seed, faults) if faults is not None else None
+        # Byzantine adversary plane: same shape as the fault plane — one
+        # deterministic injector, one append-only ledger.  Without an
+        # AdversaryConfig both are inert and every hook below is a no-op.
+        adversary = scenario.adversary if scenario is not None else None
+        self.adversary_ledger = AdversaryLedger()
+        self._adversary_injector = (
+            AdversaryInjector(config.seed, adversary) if adversary is not None else None
+        )
         self.server = AggregationServer(
             initial_model.state_dict(),
             sample_weighted=config.sample_weighted,
@@ -340,9 +385,12 @@ class FederatedSimulation:
             ),
             fault_injector=self._fault_injector,
             fault_ledger=self.fault_ledger,
+            policy=config.aggregation_policy(),
         )
         if self._fault_injector is not None:
             self.defense.attach_fault_plane(self._fault_injector, self.fault_ledger)
+        if self._adversary_injector is not None:
+            self.defense.attach_adversary_plane(self._adversary_injector, self.adversary_ledger)
         if attack is not None:
             if getattr(attack, "truth", None) is None:
                 attack.truth = {c.client_id: c.attribute for c in dataset.clients()}
@@ -664,6 +712,15 @@ class FederatedSimulation:
         # time: each update is a pure function of (client, round), so the
         # event engine only decides when results arrive, never what they are.
         trained = self._train_clients(to_train, broadcast_state, round_index)
+        if self._adversary_injector is not None:
+            # Poison after training, before transport: a Byzantine participant
+            # trains honestly enough to know the benign distribution (ALIE),
+            # then reports poison.  In-place on the flat plane, keyed purely by
+            # (seed, client, round) — order- and parallelism-independent.
+            attacked = self._adversary_injector.poison_round(
+                trained, broadcast_state, round_index, self.adversary_ledger
+            )
+            stats.num_poisoned = len(attacked)
         if injector is not None:
             # Payloads pending a retry count toward the backlog too: their
             # arrival (or final discard) still resolves in some round.
@@ -742,6 +799,7 @@ class FederatedSimulation:
         # handled during this round and lands on this round's record.
         ledger_mark = len(self.fault_ledger.entries)
         retransmission_mark = self.fault_ledger.retransmissions
+        adversary_mark = len(self.adversary_ledger.entries)
         broadcast_state = self.server.broadcast()
 
         if self.config.scenario is None:
@@ -765,6 +823,32 @@ class FederatedSimulation:
             self._received_log.append(received)
 
         record.num_aggregated = len(received)
+        report = self.server.last_aggregation_report
+        if report is not None:
+            record.num_filtered = len(report.dropped)
+        if self._adversary_injector is not None and report is not None:
+            # Resolve pending poison by who actually contributed to the merge:
+            # kept slots' contributors (incl. chimera layer sources) carried
+            # the poison into the model; dropped-only contributors were
+            # filtered.  Kept wins when a source appears on both sides.
+            kept_ids: set[int] = set()
+            for i in report.kept:
+                kept_ids |= update_contributors(received[i])
+            dropped_ids: set[int] = set()
+            for i in report.dropped:
+                dropped_ids |= update_contributors(received[i])
+            self.adversary_ledger.resolve_contributors(kept_ids, dropped_ids - kept_ids)
+        adversary_entries = self.adversary_ledger.entries[adversary_mark:]
+        if adversary_entries:
+            record.num_poison_merged = sum(
+                1 for e in adversary_entries if e.resolution == "merged"
+            )
+            record.num_poison_filtered = sum(
+                1 for e in adversary_entries if e.resolution == "filtered"
+            )
+            record.num_replays_rejected = sum(
+                1 for e in adversary_entries if e.kind == "replay"
+            )
         new_entries = self.fault_ledger.entries[ledger_mark:]
         if new_entries:
             # Recovery delays of post-flush kinds (enclave retries, proxy
@@ -815,6 +899,10 @@ class FederatedSimulation:
         """
         while len(self._records) < self.config.rounds:
             self._records.append(self.run_round())
+        if self._adversary_injector is not None:
+            # Poison still in flight when the run ends never reached the
+            # model: sweep it as filtered so the ledger always balances.
+            self.adversary_ledger.resolve_stranded("filtered")
         return SimulationResult(
             rounds=list(self._records),
             final_state=self.server.global_state,
@@ -822,6 +910,8 @@ class FederatedSimulation:
             received_updates=self._received_log,
             attack=self.attack,
             fault_ledger=self.fault_ledger,
+            adversary_ledger=self.adversary_ledger,
+            transcript=self.server.transcript,
         )
 
     # ------------------------------------------------------------------
@@ -855,6 +945,8 @@ class FederatedSimulation:
             "received_log": self._received_log,
             "defense": self.defense,
             "ledger": self.fault_ledger,
+            "adversary_ledger": self.adversary_ledger,
+            "transcript": self.server.transcript,
         }
         return pickle.dumps(state)
 
@@ -883,12 +975,18 @@ class FederatedSimulation:
         self._received_log = list(state["received_log"])
         self.defense = state["defense"]
         self.fault_ledger = state["ledger"]
+        self.adversary_ledger = state.get("adversary_ledger") or AdversaryLedger()
+        transcript = state.get("transcript")
+        if transcript is not None:
+            self.server.transcript = transcript
         # Re-wire the live fault plane: the unpickled defense carries copies
         # of the hooks; point everything back at this simulation's objects.
         self.server._fault_ledger = self.fault_ledger
         if self._fault_injector is not None:
             self.server._fault_injector = self._fault_injector
             self.defense.attach_fault_plane(self._fault_injector, self.fault_ledger)
+        if self._adversary_injector is not None:
+            self.defense.attach_adversary_plane(self._adversary_injector, self.adversary_ledger)
 
     def save_checkpoint(self, path) -> None:
         """Write :meth:`checkpoint` bytes to ``path``."""

@@ -10,6 +10,13 @@ from .latency import (
     summarize_latencies,
     summarize_round_timing,
 )
+from .robustness import (
+    RobustnessSummary,
+    attack_success_rate,
+    filter_precision,
+    filter_recall,
+    summarize_robustness,
+)
 
 __all__ = [
     "model_accuracy",
@@ -22,4 +29,9 @@ __all__ = [
     "RoundTimingSummary",
     "summarize_round_timing",
     "arrival_latencies",
+    "RobustnessSummary",
+    "attack_success_rate",
+    "filter_precision",
+    "filter_recall",
+    "summarize_robustness",
 ]

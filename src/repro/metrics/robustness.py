@@ -1,0 +1,110 @@
+"""Byzantine-robustness metrics: poison penetration and filter quality.
+
+Everything here is computed from artifacts the pipeline already produces —
+the per-round :class:`~repro.federated.simulation.RoundRecord` counters and
+the run's :class:`~repro.federated.adversary.AdversaryLedger` — so the
+metrics are exact accounting, not estimates, *except* where MixNN mixing
+makes attribution genuinely ambiguous: a chimera update blends layers from
+several senders, so "a poisoned update was filtered" becomes "every update
+carrying this attacker's layers was filtered", and precision/recall under
+mixing should be read as contributor-level approximations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "RobustnessSummary",
+    "attack_success_rate",
+    "filter_precision",
+    "filter_recall",
+    "summarize_robustness",
+]
+
+
+def attack_success_rate(ledger) -> float:
+    """Fraction of injected poison that reached the global model.
+
+    ``merged / (merged + filtered)`` over the adversary ledger's poison
+    entries (replay rejections are a transport-level attack and excluded).
+    0.0 when nothing was injected.
+    """
+    poisons = [e for e in ledger.entries if e.kind != "replay"]
+    if not poisons:
+        return 0.0
+    merged = sum(1 for e in poisons if e.resolution == "merged")
+    return merged / len(poisons)
+
+
+def filter_precision(rounds) -> float:
+    """Of the updates the policy dropped, the fraction that carried poison.
+
+    ``Σ num_poison_filtered / Σ num_filtered`` over the round records; 1.0
+    (vacuously perfect) when the policy never dropped anything.  Under MixNN
+    mixing one filtered chimera can resolve several pending poisons, so the
+    ratio is clamped to 1.
+    """
+    dropped = sum(r.num_filtered for r in rounds)
+    if dropped == 0:
+        return 1.0
+    caught = sum(r.num_poison_filtered for r in rounds)
+    return min(1.0, caught / dropped)
+
+
+def filter_recall(ledger) -> float:
+    """Of the injected poison, the fraction the pipeline kept out.
+
+    ``filtered / (merged + filtered)`` over the ledger's poison entries —
+    the complement of :func:`attack_success_rate`.  1.0 when nothing was
+    injected (nothing slipped through).
+    """
+    poisons = [e for e in ledger.entries if e.kind != "replay"]
+    if not poisons:
+        return 1.0
+    filtered = sum(1 for e in poisons if e.resolution == "filtered")
+    return filtered / len(poisons)
+
+
+@dataclass
+class RobustnessSummary:
+    """One run's Byzantine-robustness scorecard."""
+
+    #: attacks injected / merged / filtered / rejected (ledger tallies)
+    injected: int
+    merged: int
+    filtered: int
+    rejected: int
+    #: fraction of injected poison that reached the model
+    attack_success_rate: float
+    #: of what the policy dropped, how much was actually poison
+    filter_precision: float
+    #: of the injected poison, how much was kept out
+    filter_recall: float
+    #: final-round main-task accuracy
+    final_accuracy: float
+    #: accuracy lost against a poison-free baseline (0 when no baseline given)
+    accuracy_drop: float
+
+
+def summarize_robustness(result, baseline_accuracy: float | None = None) -> RobustnessSummary:
+    """Score one :class:`~repro.federated.simulation.SimulationResult`.
+
+    Validates the adversary ledger first (the ``injected == merged +
+    filtered + rejected`` invariant), so a summary is also an audit.
+    """
+    ledger = result.adversary_ledger
+    ledger.validate()
+    final_accuracy = result.rounds[-1].global_accuracy if result.rounds else float("nan")
+    drop = 0.0 if baseline_accuracy is None else baseline_accuracy - final_accuracy
+    return RobustnessSummary(
+        injected=ledger.injected,
+        merged=ledger.merged,
+        filtered=ledger.filtered,
+        rejected=ledger.rejected,
+        attack_success_rate=attack_success_rate(ledger),
+        filter_precision=filter_precision(result.rounds),
+        filter_recall=filter_recall(ledger),
+        final_accuracy=final_accuracy,
+        accuracy_drop=drop,
+    )

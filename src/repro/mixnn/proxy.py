@@ -36,9 +36,18 @@ from ..nn.serialization import schema_of
 from .enclave import SGXEnclaveSim, UpdateDecryptError
 from .mixing import _mixing_units
 from .oram import ObliviousList
-from .transport import EncryptedUpdate, pack_update, unpack_update
+from .transport import EncryptedUpdate, IntegrityError, envelope_nonce, pack_update, unpack_update
 
-__all__ = ["MixNNProxy", "ProxyStats"]
+__all__ = ["MixNNProxy", "ProxyStats", "ReplayError"]
+
+
+class ReplayError(Exception):
+    """A ciphertext for an already-seen ``(sender, round)`` nonce arrived.
+
+    Without this guard a replayed upload would double-buffer its layer
+    pieces, letting one participant occupy two slots of every ``k``-list —
+    a cheap amplification primitive for a Byzantine sender.
+    """
 
 
 @dataclass
@@ -54,6 +63,8 @@ class ProxyStats:
     crashes: int = 0
     #: poisoned ciphertexts skipped (genuine per-item decrypt failures)
     decrypt_failures: int = 0
+    #: duplicate ``(sender, round)`` uploads refused by the replay guard
+    replays_rejected: int = 0
 
 
 class MixNNProxy:
@@ -92,6 +103,10 @@ class MixNNProxy:
         # sender_id -> buffered (not yet emitted) layer pieces; drives the
         # intact/partial split when the proxy crashes with state in flight.
         self._piece_counts: dict[int, int] = {}
+        # Envelope nonces already ingested (replay guard).  In-memory only:
+        # a crash/restart loses it, which is why failover retransmissions to
+        # a restarted proxy are accepted rather than mistaken for replays.
+        self._seen_nonces: set = set()
         #: fault plane hooks (attached by the defense; ``None`` = fault-free)
         self.fault_injector = None
         self.fault_ledger = None
@@ -133,9 +148,12 @@ class MixNNProxy:
         # (the MixNN staleness passthrough: without it, per-update staleness
         # dies here and mixed async updates aggregate at full weight).
         staleness = int(update.metadata.get("staleness", 0))
+        # The envelope's provenance digest rides with every piece so chimera
+        # emissions can name the digest of each layer's source update.
+        digest = update.metadata.get("digest")
         for unit_index, unit in enumerate(self._units):
             piece = tuple(state[name] for name in unit)
-            self._lists[unit_index].insert((piece, update.sender_id, staleness))
+            self._lists[unit_index].insert((piece, update.sender_id, staleness, digest))
         self._pending_ids.append(update.sender_id)
         self._piece_counts[update.sender_id] = (
             self._piece_counts.get(update.sender_id, 0) + len(self._units)
@@ -146,12 +164,14 @@ class MixNNProxy:
         pieces: list[tuple] = []
         sources: list[int] = []
         unit_staleness: list[int] = []
+        unit_digests: list = []
         for unit_index in range(len(self._units)):
             layer_list = self._lists[unit_index]
             choice = int(self.rng.integers(len(layer_list)))
-            piece, source, staleness = layer_list.take(choice)
+            piece, source, staleness, digest = layer_list.take(choice)
             sources.append(source)
             unit_staleness.append(staleness)
+            unit_digests.append(digest)
             pieces.append(piece)
             remaining = self._piece_counts.get(source, 0) - 1
             if remaining > 0:
@@ -164,6 +184,11 @@ class MixNNProxy:
         )
         apparent = self._pending_ids.popleft()
         metadata = {"mixed": True, "granularity": self.granularity, "unit_sources": sources}
+        if any(d is not None for d in unit_digests):
+            # Per-unit provenance: the digest of each layer's source update,
+            # aligned with ``unit_sources`` — a post-hoc audit can tie every
+            # chimera layer back to the envelope that carried it.
+            metadata["unit_digests"] = unit_digests
         if any(unit_staleness):
             # Per-parameter staleness vector: every layer of the chimera is
             # discounted by its *own* source's lateness, not a blanket value.
@@ -199,8 +224,31 @@ class MixNNProxy:
         return self._ingest(plaintext, len(message.ciphertext))
 
     def _ingest(self, plaintext: bytes, ciphertext_len: int) -> ModelUpdate | None:
-        """Parse one decrypted message and run the §4.3 store/emit step."""
+        """Parse one decrypted message and run the §4.3 store/emit step.
+
+        Raises :class:`~repro.mixnn.transport.IntegrityError` when the
+        envelope's nonce does not match its claimed ``(sender, round)`` and
+        :class:`ReplayError` (counted in ``stats.replays_rejected``) when the
+        nonce was already ingested — both before any layer piece is buffered,
+        so a rejected message leaves the mixing state untouched.
+        """
         update = unpack_update(plaintext)
+        nonce = update.metadata.get("nonce")
+        if nonce is not None and nonce != envelope_nonce(update.sender_id, update.round_index):
+            self.enclave.free(len(plaintext))
+            raise IntegrityError(
+                f"envelope nonce does not bind to (sender {update.sender_id}, "
+                f"round {update.round_index}) — forged or mis-bound envelope"
+            )
+        replay_key = nonce if nonce is not None else (update.sender_id, update.round_index)
+        if replay_key in self._seen_nonces:
+            self.enclave.free(len(plaintext))
+            self.stats.replays_rejected += 1
+            raise ReplayError(
+                f"duplicate upload for sender {update.sender_id} round "
+                f"{update.round_index}: replay rejected"
+            )
+        self._seen_nonces.add(replay_key)
         self._ensure_schema(update)
         # Re-account: the serialized blob is replaced by the parsed arrays.
         self.enclave.free(len(plaintext))
@@ -297,7 +345,12 @@ class MixNNProxy:
                     )
                     # Each retry re-runs the in-enclave decrypt.
                     self._charge_retry(len(message.ciphertext))
-            maybe = self._ingest(result, len(message.ciphertext))
+            try:
+                maybe = self._ingest(result, len(message.ciphertext))
+            except ReplayError:
+                # Already counted in stats.replays_rejected; the duplicate is
+                # dropped and the batch keeps streaming.
+                continue
             if maybe is not None:
                 emitted.append(maybe)
         return emitted
@@ -328,6 +381,9 @@ class MixNNProxy:
             self._lists = OrderedDict((i, ObliviousList(self.k)) for i in range(len(self._units)))
         self._pending_ids.clear()
         self._piece_counts = {}
+        # A restarted proxy has lost its in-memory nonce cache: failover
+        # retransmissions of the same (sender, round) must be accepted.
+        self._seen_nonces.clear()
         self.stats.crashes += 1
         return intact, partial
 

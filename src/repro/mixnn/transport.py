@@ -9,10 +9,26 @@ on the flat parameter plane: one zero-copy read-only float32 vector over the
 decrypted payload, with the per-parameter dict as schema views onto it — so
 transport, crypto, and every downstream consumer (mixing, aggregation,
 attacks) share a single allocation.
+
+Integrity fields
+----------------
+Every envelope carries two fixed-length hex fields (so fresh and stale
+messages keep identical wire lengths for a given model):
+
+* ``nonce`` — a round-scoped value derived deterministically from
+  ``(sender, round)``.  The proxy recomputes it on unpack (a mismatch is a
+  forged or mis-bound envelope → :class:`IntegrityError`) and remembers it
+  for the proxy's lifetime, so a *replayed* ciphertext for the same
+  ``(sender, round)`` is rejected instead of double-buffering layer pieces.
+* ``digest`` — SHA-256 over the serialized parameter body.  Verified before
+  the body is parsed: a tampered payload dies with a typed error even if the
+  framing still parses, and the digest travels with the update as provenance
+  (``metadata["digest"]``) into the server's round transcript.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 
@@ -20,9 +36,32 @@ from ..federated.update import ModelUpdate
 from ..nn.serialization import FrameError, flat_from_bytes, flat_to_bytes, schema_of, state_to_bytes
 from .crypto import PublicKey, encrypt
 
-__all__ = ["EncryptedUpdate", "pack_update", "unpack_update", "update_nbytes"]
+__all__ = [
+    "EncryptedUpdate",
+    "IntegrityError",
+    "envelope_nonce",
+    "pack_update",
+    "unpack_update",
+    "update_nbytes",
+]
 
 _HEADER_LEN_BYTES = 4
+
+
+class IntegrityError(FrameError):
+    """An envelope's integrity fields do not match its content."""
+
+
+def envelope_nonce(sender_id: int, round_index: int) -> str:
+    """Round-scoped nonce binding an envelope to ``(sender, round)``.
+
+    Deterministic so both ends derive it independently (no extra RNG draw —
+    the zero-adversary bit-identity guarantee covers transport too); unique
+    per ``(sender, round)``, which is exactly the replay-protection scope: a
+    sender legitimately uploads once per round.
+    """
+    material = f"mixnn-nonce:{int(sender_id)}:{int(round_index)}".encode()
+    return hashlib.sha256(material).hexdigest()[:32]
 
 
 @dataclass(frozen=True)
@@ -39,11 +78,15 @@ class EncryptedUpdate:
         return len(self.ciphertext)
 
 
-def _envelope(update: ModelUpdate) -> bytes:
+def _envelope(update: ModelUpdate, body: bytes) -> bytes:
     fields = {
         "sender_id": update.sender_id,
         "round_index": update.round_index,
         "num_samples": update.num_samples,
+        # Fixed-length integrity fields (32 + 64 hex chars): replay scope and
+        # provenance digest — see the module docstring.
+        "nonce": envelope_nonce(update.sender_id, update.round_index),
+        "digest": hashlib.sha256(body).hexdigest(),
     }
     # Buffered-async rounds tag updates with how many rounds late they
     # arrived; the proxy needs it inside the ciphertext to down-weight the
@@ -67,7 +110,7 @@ def pack_update(update: ModelUpdate, public_key: PublicKey) -> EncryptedUpdate:
         body = flat_to_bytes(schema_of(update.state), update.flat_vector)
     else:
         body = state_to_bytes(update.state)
-    plaintext = _envelope(update) + body
+    plaintext = _envelope(update, body) + body
     return EncryptedUpdate(
         ciphertext=encrypt(public_key, plaintext),
         transport_id=update.sender_id,
@@ -81,7 +124,9 @@ def unpack_update(plaintext: bytes) -> ModelUpdate:
     is a single zero-copy read-only view over the payload and the state dict
     is schema views onto it.  A malformed envelope or body raises
     :class:`~repro.nn.serialization.FrameError` — truncation and bit flips
-    are surfaced as typed errors, never silently mis-parsed.
+    are surfaced as typed errors, never silently mis-parsed — and a body
+    whose SHA-256 does not match the envelope's ``digest`` raises
+    :class:`IntegrityError` before the body is even parsed.
     """
     if len(plaintext) < _HEADER_LEN_BYTES:
         raise FrameError(
@@ -100,10 +145,21 @@ def unpack_update(plaintext: bytes) -> ModelUpdate:
         num_samples = int(header["num_samples"])
     except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
         raise FrameError("corrupt envelope header (not the expected JSON fields)") from exc
-    schema, vector = flat_from_bytes(plaintext[_HEADER_LEN_BYTES + header_len :])
+    body = plaintext[_HEADER_LEN_BYTES + header_len :]
+    digest = header.get("digest")
+    if digest is not None and hashlib.sha256(body).hexdigest() != digest:
+        raise IntegrityError(
+            f"update digest mismatch for sender {sender_id} round {round_index}: "
+            f"the payload was modified between packing and unpacking"
+        )
+    schema, vector = flat_from_bytes(body)
     metadata = {}
     if "staleness" in header:
         metadata["staleness"] = int(header["staleness"])
+    if "nonce" in header:
+        metadata["nonce"] = str(header["nonce"])
+    if digest is not None:
+        metadata["digest"] = str(digest)
     return ModelUpdate(
         sender_id=sender_id,
         round_index=round_index,

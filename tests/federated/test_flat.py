@@ -15,10 +15,17 @@ import pytest
 from repro.attacks.background import reference_delta_matrix, reference_deltas
 from repro.attacks.gradsim import score_updates, score_updates_reference
 from repro.federated.aggregation import (
+    AggregationPolicy,
     coordinate_median,
     coordinate_median_reference,
+    krum,
+    krum_reference,
+    multi_krum,
+    multi_krum_reference,
     norm_filtered_mean,
     norm_filtered_mean_reference,
+    pairwise_sq_distances,
+    pairwise_sq_distances_reference,
     trimmed_mean,
     trimmed_mean_reference,
 )
@@ -183,8 +190,152 @@ class TestRobustRulesEquivalence:
         rng = rng_from_seed(11)
         template = random_schema_state(rng)
         updates = updates_from(states_like(template, rng, 3), rng)
+        # A positive-but-unreachable bound rejects every update at runtime.
         with pytest.raises(ValueError, match="rejected"):
-            norm_filtered_mean(updates, template, max_norm=0.0)
+            norm_filtered_mean(updates, template, max_norm=1e-30)
+
+    def test_norm_filter_rejects_non_positive_bound(self):
+        rng = rng_from_seed(11)
+        template = random_schema_state(rng)
+        updates = updates_from(states_like(template, rng, 3), rng)
+        for bad in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValueError, match="max_norm must be > 0"):
+                norm_filtered_mean(updates, template, max_norm=bad)
+            with pytest.raises(ValueError, match="max_norm must be > 0"):
+                norm_filtered_mean_reference(updates, template, max_norm=bad)
+
+    def test_trimmed_mean_rejects_negative_trim(self):
+        rng = rng_from_seed(12)
+        updates = updates_from(states_like(random_schema_state(rng), rng, 5), rng)
+        for fn in (trimmed_mean, trimmed_mean_reference):
+            with pytest.raises(ValueError, match="trim must be >= 0"):
+                fn(updates, trim=-1)
+        with pytest.raises(ValueError, match="trim must be >= 0"):
+            FlatUpdateBatch.from_updates(updates).trimmed_mean(-2)
+
+    def test_trimmed_mean_rejects_overlarge_trim(self):
+        rng = rng_from_seed(13)
+        updates = updates_from(states_like(random_schema_state(rng), rng, 4), rng)
+        for fn in (trimmed_mean, trimmed_mean_reference):
+            with pytest.raises(ValueError, match="removes all of 4 updates"):
+                fn(updates, trim=2)
+
+
+class TestKrumEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("count", [3, 5, 16, 64])
+    def test_pairwise_sq_distances_bit_identical(self, seed, count):
+        rng = rng_from_seed(seed)
+        updates = updates_from(states_like(random_schema_state(rng), rng, count), rng)
+        np.testing.assert_array_equal(
+            pairwise_sq_distances(updates), pairwise_sq_distances_reference(updates)
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("count,attackers", [(3, 0), (5, 1), (16, 4), (64, 20)])
+    def test_krum_bit_identical(self, seed, count, attackers):
+        rng = rng_from_seed(seed)
+        updates = updates_from(states_like(random_schema_state(rng), rng, count), rng)
+        flat_state, flat_index = krum(updates, attackers, return_index=True)
+        ref_state, ref_index = krum_reference(updates, attackers, return_index=True)
+        assert flat_index == ref_index
+        assert_states_identical(flat_state, ref_state)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("count,attackers", [(4, 1), (5, 1), (16, 4), (64, 20)])
+    def test_multi_krum_bit_identical(self, seed, count, attackers):
+        rng = rng_from_seed(seed)
+        updates = updates_from(states_like(random_schema_state(rng), rng, count), rng)
+        flat_state, flat_sel = multi_krum(updates, attackers, return_selected=True)
+        ref_state, ref_sel = multi_krum_reference(updates, attackers, return_selected=True)
+        assert flat_sel == ref_sel
+        assert_states_identical(flat_state, ref_state)
+
+    def test_krum_rejects_tiny_cohorts(self):
+        rng = rng_from_seed(5)
+        updates = updates_from(states_like(random_schema_state(rng), rng, 4), rng)
+        for fn in (krum, krum_reference, multi_krum, multi_krum_reference):
+            with pytest.raises(ValueError, match="num_attackers \\+ 3"):
+                fn(updates, num_attackers=2)
+            with pytest.raises(ValueError, match="num_attackers must be >= 0"):
+                fn(updates, num_attackers=-1)
+
+    def test_krum_selects_an_actual_update(self):
+        rng = rng_from_seed(6)
+        updates = updates_from(states_like(random_schema_state(rng), rng, 8), rng)
+        state, index = krum(updates, num_attackers=2, return_index=True)
+        assert_states_identical(state, updates[index].state)
+
+    def test_krum_excludes_an_obvious_outlier(self):
+        rng = rng_from_seed(7)
+        template = random_schema_state(rng)
+        updates = updates_from(states_like(template, rng, 8), rng)
+        for name in updates[0].state:
+            updates[0].state[name] = updates[0].state[name] + 1000.0
+        _, index = krum(updates, num_attackers=1, return_index=True)
+        assert index != 0
+        _, selected = multi_krum(updates, num_attackers=1, return_selected=True)
+        assert 0 not in selected
+
+
+class TestAggregationPolicyEquivalence:
+    """Every wired policy rule agrees bit-for-bit with its reference rule."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("count", [3, 5, 16])
+    @pytest.mark.parametrize("rule", ["median", "trimmed", "norm_filter", "krum", "multi-krum"])
+    def test_policy_matches_reference_rule(self, seed, count, rule):
+        rng = rng_from_seed(seed)
+        template = random_schema_state(rng)
+        updates = updates_from(states_like(template, rng, count), rng)
+        policy = AggregationPolicy(rule=rule)
+        state, kept, dropped = policy.aggregate(updates, reference=template)
+        assert not set(kept) & set(dropped)
+        assert set(kept) | set(dropped) <= set(range(count))
+        if rule == "median":
+            assert_states_identical(state, coordinate_median_reference(updates))
+        elif rule == "trimmed":
+            trim = min(1, max(0, (count - 1) // 2))
+            assert_states_identical(state, trimmed_mean_reference(updates, trim=trim))
+        elif rule == "norm_filter":
+            batch = FlatUpdateBatch.from_updates(updates)
+            bound = 2.0 * float(np.median(batch.norms(template)))
+            assert_states_identical(
+                state, norm_filtered_mean_reference(updates, template, bound)
+            )
+            assert len(kept) >= (count + 1) // 2  # adaptive bound keeps the median half
+        elif rule == "krum":
+            f = max(0, min((count - 3) // 2, count - 3))
+            ref_state, ref_index = krum_reference(updates, f, return_index=True)
+            assert kept == (ref_index,)
+            assert_states_identical(state, ref_state)
+        else:
+            f = max(0, min((count - 3) // 2, count - 3))
+            ref_state, ref_sel = multi_krum_reference(updates, f, return_selected=True)
+            assert list(kept) == ref_sel
+            assert_states_identical(state, ref_state)
+
+    @pytest.mark.parametrize("rule", ["krum", "multi-krum"])
+    def test_krum_policies_fall_back_to_mean_below_floor(self, rule):
+        rng = rng_from_seed(8)
+        updates = updates_from(states_like(random_schema_state(rng), rng, 2), rng)
+        state, kept, dropped = AggregationPolicy(rule=rule).aggregate(updates)
+        assert kept == (0, 1) and dropped == ()
+        assert_states_identical(state, aggregate_updates_reference(updates))
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="unknown aggregation rule"):
+            AggregationPolicy(rule="geometric-median")
+        with pytest.raises(ValueError, match="trim must be >= 1"):
+            AggregationPolicy(rule="trimmed", trim=0)
+        with pytest.raises(ValueError, match="max_norm must be > 0"):
+            AggregationPolicy(rule="norm_filter", max_norm=0.0)
+        with pytest.raises(ValueError, match="norm_multiplier must be >= 1"):
+            AggregationPolicy(rule="norm_filter", norm_multiplier=0.5)
+        with pytest.raises(ValueError, match="num_attackers must be >= 0"):
+            AggregationPolicy(rule="krum", num_attackers=-1)
+        with pytest.raises(ValueError, match="multi_select must be >= 1"):
+            AggregationPolicy(rule="multi-krum", multi_select=0)
 
 
 class TestDeltaEquivalence:

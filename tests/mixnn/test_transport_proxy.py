@@ -131,6 +131,8 @@ class TestProxyRound:
             proxy.receive(proxy.encrypt_for_proxy(update))
         other_model = paper_cnn((3, 8, 8), 10, rng_from_seed(1), conv_layers=3)
         alien = make_updates(other_model, 1)[0]
+        # a fresh sender, so the replay guard lets the schema check speak
+        alien.sender_id = 7
         with pytest.raises(KeyError, match="schema"):
             proxy.receive(proxy.encrypt_for_proxy(alien))
 
