@@ -5,7 +5,10 @@ Runs the crypto/transport/mixing micro-benchmarks, the flat-parameter-plane
 attack/aggregation micro-benchmarks, the round-throughput sweep (clients/sec
 at 16/64/256 simulated clients, flat vs retained reference path), the
 fault-recovery sweep (round throughput and recovery percentiles at
-0/5/20 % proxy-crash under 5 % frame corruption), and the
+0/5/20 % proxy-crash under 5 % frame corruption), the scheduler
+micro-benchmark (heap vs calendar queue at 10³/10⁴/10⁵ pending events), the
+population-scale measurement (a 10⁶-client federation training 10⁴ clients
+per round with cohort-bounded memory), and the
 §6.5 system-perf pipeline measurement directly (no pytest involved), and
 writes the results to ``BENCH_<date>.json`` next to this script (override
 with ``--output``).  An existing snapshot for the same date is never
@@ -328,6 +331,135 @@ def fault_recovery() -> list[dict]:
     return rows
 
 
+#: scheduler micro-benchmark: backlog sizes to drain, and virtual seconds
+#: between consecutive events (fixed density — backlog size, not event
+#: crowding, is the variable under test)
+SCHEDULER_BACKLOGS = (1_000, 10_000, 100_000)
+SCHEDULER_SPACING = 0.01
+
+
+def scheduler_ops_per_second(repeats: int) -> dict:
+    """Heap vs calendar queue: schedule and pop cost as the backlog grows.
+
+    Pre-builds ``backlog`` arrival events spread over a window that keeps
+    the event density fixed at one per ``SCHEDULER_SPACING`` virtual
+    seconds, then times the schedule phase (push everything) and the drain
+    phase (pop everything, fully ordered) separately — events are built
+    outside the timed region so dataclass construction cost doesn't mask the
+    queue asymptotics.  The heap pays ``O(log n)`` percolation per pop, so
+    its per-op cost grows with the backlog; the calendar queue's bucket
+    occupancy is set by the density, not the backlog, so its pop cost stays
+    flat from 10³ to 10⁵ pending events.
+    """
+    from repro.federated.events import ClientUpdateArrival, make_scheduler
+    from repro.utils.rng import rng_from_seed
+
+    sweep = {}
+    for backlog in SCHEDULER_BACKLOGS:
+        rng = rng_from_seed(0)
+        times = rng.uniform(0.0, backlog * SCHEDULER_SPACING, size=backlog)
+        events = [
+            ClientUpdateArrival(time=float(t), client_id=i) for i, t in enumerate(times)
+        ]
+        row: dict = {}
+        for backend in ("heap", "calendar"):
+            schedule_best = pop_best = float("inf")
+            for _ in range(repeats):
+                scheduler = make_scheduler(backend)
+                start = time.perf_counter()
+                for event in events:
+                    scheduler.schedule(event)
+                mid = time.perf_counter()
+                while len(scheduler):
+                    scheduler.pop()
+                end = time.perf_counter()
+                schedule_best = min(schedule_best, mid - start)
+                pop_best = min(pop_best, end - mid)
+            row[backend] = {
+                "schedule_ns_per_op": schedule_best / backlog * 1e9,
+                "pop_ns_per_op": pop_best / backlog * 1e9,
+                "ops_per_sec": 2 * backlog / (schedule_best + pop_best),
+            }
+        row["calendar_pop_speedup"] = (
+            row["heap"]["pop_ns_per_op"] / row["calendar"]["pop_ns_per_op"]
+        )
+        sweep[str(backlog)] = row
+    return sweep
+
+
+#: population-scale sweep: (population size, clients trained per round).
+#: The (10⁵, 10³) row is the memory-bound control for (10⁶, 10³): a 10×
+#: population at the same cohort must not move the traced peak.
+POPULATION_POINTS = (
+    (100_000, 1_000),
+    (1_000_000, 1_000),
+    (1_000_000, 10_000),
+)
+
+
+def population_scale() -> list[dict]:
+    """One full round of a million-client federation, memory-instrumented.
+
+    Each row runs selection → latency draws → local training → event replay →
+    aggregation over a :class:`~repro.data.population.SyntheticPopulation`
+    with the lazy client plane and the calendar scheduler, and records the
+    tracemalloc peak (allocation high-water mark of the round), the process
+    RSS high-water mark, and the population's own materialization peak.  The
+    claim under test: peak memory is bounded by the *cohort*, never the
+    population — the 10⁶-row and the 10⁵-row at equal cohort size trace the
+    same peak.  Deterministic, so a single run per point is exact.
+    """
+    import resource
+    import tracemalloc
+
+    from repro.data import SyntheticPopulation
+    from repro.experiments.models import model_fn_for
+    from repro.federated import (
+        FederatedSimulation,
+        LocalTrainingConfig,
+        LogNormalLatency,
+        ScenarioConfig,
+        SimulationConfig,
+    )
+
+    rows = []
+    for population_size, cohort in POPULATION_POINTS:
+        dataset = SyntheticPopulation(population_size=population_size, seed=0)
+        config = SimulationConfig(
+            rounds=1,
+            local=LocalTrainingConfig(local_epochs=1, batch_size=8),
+            clients_per_round=cohort,
+            seed=0,
+            track_per_client_accuracy=False,
+            retain_received_updates=False,
+            scenario=ScenarioConfig(latency=LogNormalLatency(median=1.0, sigma=0.5)),
+        )
+        tracemalloc.start()
+        start = time.perf_counter()
+        sim = FederatedSimulation(dataset, model_fn_for(dataset), config)
+        result = sim.run()
+        wall = time.perf_counter() - start
+        _, peak_traced = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        rows.append(
+            {
+                "population_size": population_size,
+                "clients_per_round": cohort,
+                "wall_seconds": wall,
+                "trained_clients_per_sec": cohort / wall,
+                "peak_materialized": sim.population.peak_materialized,
+                "peak_traced_mb": peak_traced / 1e6,
+                # ru_maxrss is a process-lifetime high-water mark (kB on
+                # Linux): monotonic across rows, reported for context only —
+                # the bounded-memory claim is scored on the traced peak.
+                "rss_high_water_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024,
+                "merged_updates": result.rounds[-1].num_aggregated,
+                "final_accuracy": result.rounds[-1].global_accuracy,
+            }
+        )
+    return rows
+
+
 BYZANTINE_ROUNDS = 4
 BYZANTINE_ATTACK_SCALE = 100.0
 
@@ -462,6 +594,8 @@ def collect(repeats: int) -> dict:
     results["deadline_throughput_frontier"] = deadline_throughput_frontier()
     results["fault_recovery"] = fault_recovery()
     results["byzantine_robustness"] = byzantine_robustness()
+    results["scheduler_ops_per_second"] = scheduler_ops_per_second(repeats)
+    results["population_scale"] = population_scale()
     perf = run_system_perf()
     results["system_perf"] = {
         section: [row.__dict__ for row in rows] for section, rows in perf.items()

@@ -18,7 +18,9 @@ from .partition import (
     dirichlet_partition,
     k_fold_clients,
     merge_clients,
+    shard_label_counts,
 )
+from .population import LazyFederatedDataset, SyntheticPopulation
 
 __all__ = [
     "ArrayDataset",
@@ -39,6 +41,9 @@ __all__ = [
     "clients_by_attribute",
     "dirichlet_partition",
     "dirichlet_clients",
+    "shard_label_counts",
+    "LazyFederatedDataset",
+    "SyntheticPopulation",
     "DATASETS",
     "make_dataset",
 ]

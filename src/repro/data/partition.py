@@ -19,7 +19,45 @@ __all__ = [
     "clients_by_attribute",
     "dirichlet_partition",
     "dirichlet_clients",
+    "shard_label_counts",
 ]
+
+
+def shard_label_counts(
+    num_samples: int,
+    num_classes: int,
+    alpha: float | None,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-class sample counts for one *lazily materialized* shard.
+
+    :func:`dirichlet_partition` needs the global label pool to carve shards —
+    exactly what a population-scale dataset cannot afford to hold.  This is
+    the per-shard counterpart: the shard's class mixture is drawn from
+    ``Dir(alpha)`` (or uniform when ``alpha`` is ``None``) using only the
+    shard's own RNG, then rounded to integer counts summing to
+    ``num_samples`` (largest-fractional-part rounding, deterministic).  Small
+    ``alpha`` gives the same heavy label skew regime as the global
+    partitioner; the draw touches nothing outside ``rng``, so shard ``i`` of
+    a million-client population is computable in isolation.
+    """
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    if num_classes < 1:
+        raise ValueError(f"num_classes must be >= 1, got {num_classes}")
+    if alpha is None:
+        proportions = np.full(num_classes, 1.0 / num_classes)
+    else:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be > 0, got {alpha}")
+        proportions = rng.dirichlet(np.full(num_classes, float(alpha)))
+    scaled = proportions * num_samples
+    counts = np.floor(scaled).astype(np.int64)
+    remainder = int(num_samples - counts.sum())
+    if remainder:
+        order = np.argsort(-(scaled - counts), kind="stable")
+        counts[order[:remainder]] += 1
+    return counts
 
 
 def background_subset(

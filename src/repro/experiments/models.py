@@ -28,7 +28,7 @@ from ..nn import (
     Sequential,
 )
 
-__all__ = ["paper_cnn", "deepface_like", "model_fn_for"]
+__all__ = ["paper_cnn", "deepface_like", "linear_probe", "model_fn_for"]
 
 
 def paper_cnn(
@@ -90,11 +90,29 @@ def deepface_like(
     )
 
 
+def linear_probe(
+    input_shape: tuple[int, ...],
+    num_classes: int,
+    rng: np.random.Generator,
+) -> Module:
+    """Flatten + single linear layer, for flat-feature population datasets.
+
+    Population-scale simulations trade model capacity for cohort size; a
+    linear probe keeps each of the 10k-per-round local trainings cheap while
+    still separating the Gaussian-prototype features of
+    :class:`~repro.data.population.SyntheticPopulation`.
+    """
+    flat = int(np.prod(input_shape))
+    return Sequential(Flatten(), Linear(flat, num_classes, rng=rng))
+
+
 def model_fn_for(
     dataset: FederatedDataset,
     conv_layers: int = 2,
 ) -> Callable[[np.random.Generator], Module]:
     """The paper's architecture choice for a given dataset."""
+    if len(dataset.input_shape) == 1:
+        return lambda rng: linear_probe(dataset.input_shape, dataset.num_classes, rng)
     if dataset.name == "lfw":
         return lambda rng: deepface_like(dataset.input_shape, dataset.num_classes, rng)
     return lambda rng: paper_cnn(

@@ -19,6 +19,7 @@ engine::
     python -m repro.experiments.runner dirichlet-churn --alphas 10,0.3
     python -m repro.experiments.runner chaos --proxy-crash-rates 0,0.05,0.2 --quorum 0.7
     python -m repro.experiments.runner byzantine --attack sign-flip --attacker-fractions 0,0.1,0.3
+    python -m repro.experiments.runner population --population-size 1000000 --cohort 10000
 
 All scenario knobs (churn probability, latency shape, aggregation scheme,
 deadline, buffer fraction) are validated at argparse time — a bad value dies
@@ -39,7 +40,14 @@ __all__ = ["main", "run_experiment", "run_scenario_experiment"]
 EXPERIMENTS = ("figure5", "figure6", "figure7", "figure8", "figure9", "system")
 #: virtual-time scenario studies (not part of ``all``, which regenerates the
 #: paper's figures only)
-SCENARIO_EXPERIMENTS = ("scenario", "frontier", "dirichlet-churn", "chaos", "byzantine")
+SCENARIO_EXPERIMENTS = (
+    "scenario",
+    "frontier",
+    "dirichlet-churn",
+    "chaos",
+    "byzantine",
+    "population",
+)
 
 
 def _render_checks(checks: dict[str, bool]) -> str:
@@ -78,6 +86,22 @@ def run_scenario_experiment(name: str, args: argparse.Namespace) -> str:
     """Run one virtual-time scenario study; return the printed report."""
     from . import extensions
 
+    if name == "population":
+        # runs on its own synthetic population, not one of the four datasets
+        row = extensions.run_population_study(
+            scale=args.scale,
+            seed=args.seed,
+            rounds=args.rounds if args.rounds is not None else 1,
+            population_size=args.population_size,
+            clients_per_round=args.cohort,
+            alpha=args.alpha,
+        )
+        return "\n".join(
+            [
+                f"== population (scale={args.scale}, seed={args.seed}) ==",
+                extensions.render_population(row),
+            ]
+        )
     lines = [
         f"== {name} / {args.dataset} (scale={args.scale}, seed={args.seed}, "
         f"dropout={args.dropout}) =="
@@ -424,6 +448,30 @@ def main(argv: list[str] | None = None) -> int:
         default=0.0,
         help="per-(attacker, round) ciphertext replay probability (MixNN path)",
     )
+    population = parser.add_argument_group(
+        "population knobs",
+        "consumed by the population command (synthetic million-client study; "
+        "ignores --dataset)",
+    )
+    population.add_argument(
+        "--population-size",
+        type=_positive_int,
+        default=None,
+        help="synthetic client population size (default: per --scale preset)",
+    )
+    population.add_argument(
+        "--cohort",
+        type=_positive_int,
+        default=None,
+        help="clients selected per round (default: per --scale preset)",
+    )
+    population.add_argument(
+        "--alpha",
+        type=_positive_float,
+        default=None,
+        help="Dirichlet concentration for shard label mixtures (default: uniform)",
+    )
+
     args = parser.parse_args(argv)
 
     if args.experiment in SCENARIO_EXPERIMENTS:

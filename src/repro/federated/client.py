@@ -18,7 +18,13 @@ from ..nn import Adam, CrossEntropyLoss, Module, Tensor, no_grad
 from ..utils.rng import rng_from_seed, stable_seed
 from .update import ModelUpdate
 
-__all__ = ["LocalTrainingConfig", "FederatedClient", "train_locally", "evaluate_accuracy"]
+__all__ = [
+    "LocalTrainingConfig",
+    "FederatedClient",
+    "ClientPopulation",
+    "train_locally",
+    "evaluate_accuracy",
+]
 
 
 @dataclass(frozen=True)
@@ -130,3 +136,135 @@ class FederatedClient:
         """Accuracy of a given model state on this client's local test data."""
         self.model.load_state_dict(state)
         return evaluate_accuracy(self.model, self.data.test)
+
+
+class ClientPopulation:
+    """The client plane as a descriptor table: participants materialize on
+    demand and release after their round.
+
+    A population stores one *descriptor* per client — its id and a way to
+    build its data shard — and constructs the heavyweight
+    :class:`FederatedClient` (model replica + dataset view) only when a round
+    actually selects the client.  Every stochastic decision about a client
+    (selection, churn, latency, faults, poison, the training RNG itself) is a
+    pure function of ``(seed, client_id, round)``, so an unmaterialized
+    client costs zero RNG work and a client materialized in round 7 trains
+    bit-identically to one that has lived since round 0: the broadcast state
+    overwrites the replica's weights and the optimizer is built per call.
+
+    Retention modes:
+
+    * ``retain=True`` (eager datasets) — materialized clients persist for
+      the run, so replicas are reused across rounds: the legacy behavior,
+      taken automatically for datasets that pre-build their client list.
+    * ``retain=False`` (lazy populations) — :meth:`release` drops the
+      replica and the shard once the round is done, bounding peak memory by
+      the materialized cohort instead of the population size.
+
+    ``data_fn(client_id)`` must return the client's
+    :class:`~repro.data.base.ClientDataset`; for lazy populations it is
+    re-invoked on every materialization and must be deterministic.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        data_fn: Callable[[int], ClientDataset],
+        model_fn: Callable[[np.random.Generator], Module],
+        config: LocalTrainingConfig,
+        seed: int = 0,
+        retain: bool = True,
+        client_ids=None,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"a population needs at least 1 client, got {size}")
+        self._data_fn = data_fn
+        self._model_fn = model_fn
+        self._config = config
+        self._seed = seed
+        self._retain = retain
+        # range() keeps the id table O(1) memory for the common contiguous
+        # case (lazy populations require client_id == index).
+        self._ids = client_ids if client_ids is not None else range(size)
+        if len(self._ids) != size:
+            raise ValueError(f"got {len(self._ids)} client ids for a population of {size}")
+        self._cache: dict[int, FederatedClient] = {}
+        #: high-water mark of simultaneously materialized clients — the
+        #: memory-bound the benchmarks and the scale tests assert on
+        self.peak_materialized = 0
+
+    @classmethod
+    def from_client_data(cls, datasets, model_fn, config, seed: int = 0) -> "ClientPopulation":
+        """Eager population over pre-built :class:`ClientDataset` shards."""
+        ids = [data.client_id for data in datasets]
+        by_id = {data.client_id: data for data in datasets}
+        if len(by_id) != len(datasets):
+            raise ValueError("client ids must be unique within a population")
+        return cls(
+            len(datasets), by_id.__getitem__, model_fn, config,
+            seed=seed, retain=True, client_ids=ids,
+        )
+
+    @classmethod
+    def for_dataset(cls, dataset, model_fn, config, seed: int = 0) -> "ClientPopulation":
+        """The right population for a dataset: descriptor-backed when the
+        dataset is a lazy population (``lazy_population`` attribute), eager
+        over ``dataset.clients()`` otherwise."""
+        if getattr(dataset, "lazy_population", False):
+            return cls(
+                dataset.num_clients, dataset.client_data, model_fn, config,
+                seed=seed, retain=False,
+            )
+        return cls.from_client_data(dataset.clients(), model_fn, config, seed=seed)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientPopulation(size={len(self._ids)}, materialized={len(self._cache)}, "
+            f"retain={self._retain})"
+        )
+
+    @property
+    def materialized(self) -> int:
+        """How many clients are materialized right now."""
+        return len(self._cache)
+
+    def client_ids(self, indices) -> list[int]:
+        """Map population indices (the selection RNG's draw space) to ids."""
+        ids = self._ids
+        return [ids[i] for i in indices]
+
+    def get(self, client_id: int) -> FederatedClient:
+        """The client, materializing (and caching) it if needed."""
+        client = self._cache.get(client_id)
+        if client is None:
+            client = FederatedClient(
+                self._data_fn(client_id), self._model_fn, self._config, seed=self._seed
+            )
+            self._cache[client_id] = client
+            if len(self._cache) > self.peak_materialized:
+                self.peak_materialized = len(self._cache)
+        return client
+
+    def materialize(self, client_ids) -> list[FederatedClient]:
+        """Materialize a cohort, in the given (deterministic) order."""
+        return [self.get(client_id) for client_id in client_ids]
+
+    def release(self, client_ids=None) -> None:
+        """Drop materialized clients (all of them when ``client_ids`` is
+        ``None``).  A no-op for retaining populations, where replica reuse
+        across rounds is the point."""
+        if self._retain:
+            return
+        if client_ids is None:
+            self._cache.clear()
+        else:
+            for client_id in client_ids:
+                self._cache.pop(client_id, None)
+
+    def clients(self) -> list[FederatedClient]:
+        """Every client, materialized — compatibility surface for eager-era
+        callers and small populations; defeats the memory bound at scale."""
+        return self.materialize(self._ids)

@@ -179,6 +179,18 @@ class FaultInjector:
         """Does this client die mid-training this round?"""
         return self._draw(self.config.client_crash_rate, "client-crash", client_id, round_index)
 
+    def crashed_clients(self, client_ids, round_index: int) -> list[int]:
+        """The subset of a cohort that dies mid-training this round, order
+        preserved.  One hash draw per cohort member — unselected clients cost
+        nothing, the population-scale engine's contract."""
+        if self.config.client_crash_rate <= 0.0:
+            return []
+        return [
+            client_id
+            for client_id in client_ids
+            if self.client_crash(client_id, round_index)
+        ]
+
     def frame_fault(self, client_id: int, round_index: int, attempt: int) -> bool:
         """Is this transmission attempt's wire frame corrupted in transit?"""
         return self._draw(

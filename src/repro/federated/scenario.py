@@ -73,12 +73,30 @@ class ClientAvailability(abc.ABC):
     def is_available(self, seed: int, client_id: int, round_index: int) -> bool:
         """Whether ``client_id`` shows up for ``round_index``."""
 
+    def filter_available(
+        self, seed: int, client_ids: Iterable[int], round_index: int
+    ) -> list[int]:
+        """The subset of ``client_ids`` that shows up this round, order
+        preserved.  One hash draw per *selected* client — the population-scale
+        engine funnels cohorts through here before materializing anyone, so
+        churn costs nothing for the unselected millions."""
+        return [
+            client_id
+            for client_id in client_ids
+            if self.is_available(seed, client_id, round_index)
+        ]
+
 
 class AlwaysAvailable(ClientAvailability):
     """No churn: every selected client participates (the paper's setting)."""
 
     def is_available(self, seed: int, client_id: int, round_index: int) -> bool:
         return True
+
+    def filter_available(
+        self, seed: int, client_ids: Iterable[int], round_index: int
+    ) -> list[int]:
+        return list(client_ids)
 
 
 @dataclass(frozen=True)

@@ -62,17 +62,18 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from ..defenses.base import Defense
 from ..nn import Module
 from ..utils.rng import rng_from_seed, stable_seed
-from .client import FederatedClient, LocalTrainingConfig
+from .client import ClientPopulation, FederatedClient, LocalTrainingConfig
 from .events import (
+    SCHEDULER_BACKENDS,
     BufferedFlushPolicy,
     BufferFlush,
     ClientUpdateArrival,
-    EventScheduler,
     FlushPolicy,
     QuorumFlushPolicy,
     RoundDeadline,
     SyncFlushPolicy,
     TransmissionFailure,
+    make_scheduler,
 )
 from .adversary import AdversaryInjector, AdversaryLedger, update_contributors
 from .aggregation import AGGREGATION_RULES, AggregationPolicy
@@ -118,10 +119,20 @@ class SimulationConfig:
     #: :class:`~repro.federated.aggregation.AggregationPolicy`.  ``"mean"``
     #: (the default) takes the classical FedAvg path, bit for bit.
     aggregation: "str | AggregationPolicy" = "mean"
+    #: virtual-clock backend — ``"calendar"`` (bucketed calendar/ladder
+    #: queue, O(1) amortized pop at any backlog) or ``"heap"`` (the binary
+    #: heap reference).  Both pop bit-identical event traces; the knob exists
+    #: so regressions can be bisected against the reference.
+    scheduler: str = "calendar"
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if self.scheduler not in SCHEDULER_BACKENDS:
+            raise ValueError(
+                f"unknown scheduler backend {self.scheduler!r}; choose from "
+                f"{SCHEDULER_BACKENDS}"
+            )
         if isinstance(self.aggregation, str) and self.aggregation not in AGGREGATION_RULES:
             raise ValueError(
                 f"unknown aggregation rule {self.aggregation!r}; choose one of "
@@ -343,15 +354,18 @@ class FederatedSimulation:
         # here across rounds, so buffered-async updates genuinely stay in
         # transit over round boundaries (their events pop when the clock
         # reaches them).  Only consulted when a scenario is configured.
-        self._scheduler = EventScheduler()
+        self._scheduler = make_scheduler(config.scheduler)
         # One evaluation replica per simulation: model_accuracy would
         # otherwise rebuild a scratch model from model_fn every round.
         self._eval_model: Module | None = None
 
-        self.clients = [
-            FederatedClient(data, model_fn, config.local, seed=config.seed)
-            for data in dataset.clients()
-        ]
+        # The client plane: descriptors for everyone, FederatedClient
+        # replicas only for the rounds that select them.  Eager datasets
+        # retain materialized clients for the run (replica reuse, the legacy
+        # behavior); lazy populations release them after each round.
+        self.population = ClientPopulation.for_dataset(
+            dataset, model_fn, config.local, seed=config.seed
+        )
         initial_model = model_fn(rng_from_seed(config.seed))
         broadcast_hook = None
         if attack is not None and getattr(attack, "mode", None) == "active":
@@ -396,15 +410,33 @@ class FederatedSimulation:
                 attack.truth = {c.client_id: c.attribute for c in dataset.clients()}
             self.server.add_observer(attack)
 
+    @property
+    def clients(self) -> list[FederatedClient]:
+        """Every participant, materialized.
+
+        Compatibility surface for eager-era callers; at population scale use
+        :attr:`population` instead — materializing a million replicas is
+        exactly what the descriptor plane avoids.
+        """
+        return self.population.clients()
+
     # ------------------------------------------------------------------
     # Round loop
     # ------------------------------------------------------------------
-    def _select_clients(self) -> list[FederatedClient]:
+    def _select_client_ids(self) -> list[int]:
+        """Draw this round's cohort as client ids, without materializing.
+
+        The draw is over the population *size* — one ``rng.choice`` call and
+        ``clients_per_round`` id lookups, regardless of how many clients
+        exist — and consumes exactly the stream the legacy draw over
+        ``self.clients`` did, so selection is bit-identical.
+        """
         count = self.config.clients_per_round
-        if count is None or count >= len(self.clients):
-            return self.clients
-        chosen = self._selection_rng.choice(len(self.clients), size=count, replace=False)
-        return [self.clients[i] for i in sorted(chosen)]
+        size = len(self.population)
+        if count is None or count >= size:
+            return self.population.client_ids(range(size))
+        chosen = self._selection_rng.choice(size, size=count, replace=False)
+        return self.population.client_ids(sorted(int(index) for index in chosen))
 
     def _train_clients(
         self, participants: list[FederatedClient], broadcast_state: dict, round_index: int
@@ -619,43 +651,38 @@ class FederatedSimulation:
         seed = self.config.seed
         scheduler = self._scheduler
         round_start = scheduler.now
-        selected = self._select_clients()
+        # The whole selection → churn → crash → straggler funnel runs on
+        # client *ids*: every draw is a pure (seed, client_id, round) hash,
+        # so nothing needs materializing until we know who actually trains.
+        selected_ids = self._select_client_ids()
         availability = scenario.availability or AlwaysAvailable()
-        surviving = [
-            client
-            for client in selected
-            if availability.is_available(seed, client.client_id, round_index)
-        ]
-        num_dropped = len(selected) - len(surviving)
+        surviving_ids = availability.filter_available(seed, selected_ids, round_index)
+        num_dropped = len(selected_ids) - len(surviving_ids)
         injector = self._fault_injector
         num_crashed = 0
         if injector is not None and scenario.faults.client_crash_rate > 0:
             # Mid-training crashes: the device died after dispatch, so its
             # work (and its update) is simply gone this round — a discarded
             # fault, not churn (the server selected and broadcast to it).
-            crashed = [
-                client
-                for client in surviving
-                if injector.client_crash(client.client_id, round_index)
-            ]
-            if crashed:
-                crashed_ids = {client.client_id for client in crashed}
-                surviving = [c for c in surviving if c.client_id not in crashed_ids]
-                for client in crashed:
+            crashed_ids = injector.crashed_clients(surviving_ids, round_index)
+            if crashed_ids:
+                crashed_set = set(crashed_ids)
+                surviving_ids = [cid for cid in surviving_ids if cid not in crashed_set]
+                for client_id in crashed_ids:
                     self.fault_ledger.record(
-                        "client-crash", client.client_id, round_index, 0, "discarded"
+                        "client-crash", client_id, round_index, 0, "discarded"
                     )
-                num_crashed = len(crashed)
+                num_crashed = len(crashed_ids)
         latencies: dict[int, float] = {}
         if scenario.latency is not None:
             latencies = {
-                client.client_id: scenario.latency.latency(seed, client.client_id, round_index)
-                for client in surviving
+                client_id: scenario.latency.latency(seed, client_id, round_index)
+                for client_id in surviving_ids
             }
         stats = RoundRecord(
             round_index=round_index,
             global_accuracy=float("nan"),
-            num_selected=len(selected),
+            num_selected=len(selected_ids),
             num_dropped=num_dropped,
             num_crashed=num_crashed,
             round_start=round_start,
@@ -664,15 +691,16 @@ class FederatedSimulation:
         if not scenario.is_async:
             # Sync-mode stragglers can never be merged (the round closes at
             # the deadline without them), so their training is skipped
-            # entirely — dropped work, exactly as under the legacy loop.
+            # entirely — dropped work, exactly as under the legacy loop (and
+            # at population scale they are never even materialized).
             if scenario.deadline is not None:
-                arrivers = [
-                    client for client in surviving if latencies[client.client_id] <= scenario.deadline
+                arriver_ids = [
+                    cid for cid in surviving_ids if latencies[cid] <= scenario.deadline
                 ]
             else:
-                arrivers = surviving
-            stats.num_stragglers = len(surviving) - len(arrivers)
-            if not arrivers:
+                arriver_ids = surviving_ids
+            stats.num_stragglers = len(surviving_ids) - len(arriver_ids)
+            if not arriver_ids:
                 deadline_part = (
                     f", {stats.num_stragglers} missed the {scenario.deadline}s deadline"
                     if scenario.deadline is not None
@@ -681,11 +709,11 @@ class FederatedSimulation:
                 crash_part = f", {num_crashed} crashed mid-training" if num_crashed else ""
                 raise RuntimeError(
                     f"round {round_index}: no client survived the scenario — "
-                    f"{len(selected)} selected, {stats.num_dropped} dropped out"
+                    f"{len(selected_ids)} selected, {stats.num_dropped} dropped out"
                     f"{crash_part}{deadline_part}; lower the dropout probability, "
                     "extend the deadline, or select more clients per round"
                 )
-            to_train = arrivers
+            to_train_ids = arriver_ids
             # The server knows dispatch failures (churn) immediately but not
             # who will straggle: while stragglers are outstanding the
             # all-arrived condition is unreachable and only the deadline
@@ -696,18 +724,22 @@ class FederatedSimulation:
                 # out a faulty tail.  quorum_fraction=1.0 only fires at the
                 # same instant all-arrived would — the fault-free semantics.
                 policy: FlushPolicy = QuorumFlushPolicy(
-                    quorum_count=scenario.faults.quorum_count(len(surviving)),
+                    quorum_count=scenario.faults.quorum_count(len(surviving_ids)),
                     expected_absent=stats.num_stragglers,
                 )
                 stats.quorum_target = policy.quorum_count
             else:
                 policy = SyncFlushPolicy(expected_absent=stats.num_stragglers)
         else:
-            to_train = surviving
+            to_train_ids = surviving_ids
             policy = BufferedFlushPolicy(
-                buffer_size=scenario.effective_buffer_size(len(to_train))
+                buffer_size=scenario.effective_buffer_size(len(to_train_ids))
             )
 
+        # Only the post-funnel cohort is ever materialized: replica + shard
+        # construction is deferred to here, and for a lazy population it is
+        # released again once the round's updates are merged.
+        to_train = self.population.materialize(to_train_ids)
         # Train through the flat-plane thread pool *before* replaying virtual
         # time: each update is a pure function of (client, round), so the
         # event engine only decides when results arrive, never what they are.
@@ -724,9 +756,9 @@ class FederatedSimulation:
         if injector is not None:
             # Payloads pending a retry count toward the backlog too: their
             # arrival (or final discard) still resolves in some round.
-            in_flight = len(scheduler.in_flight_payloads())
+            in_flight = scheduler.in_flight_count()
         else:
-            in_flight = len(scheduler.pending_arrivals()) if scenario.is_async else 0
+            in_flight = scheduler.pending_arrival_count() if scenario.is_async else 0
         for update in trained:
             latency = latencies.get(update.sender_id, 0.0)
             update.metadata["latency"] = latency
@@ -753,9 +785,13 @@ class FederatedSimulation:
         merged, flush_time, discarded, lost = self._replay_until_flush(
             round_index, policy, expected=len(trained) + in_flight
         )
+        # The cohort's updates are merged (or in transit as events): a lazy
+        # population drops the replicas and shards here, so peak memory
+        # tracks the materialized cohort, never the population.
+        self.population.release(to_train_ids)
         stats.num_discarded = discarded
         if injector is not None:
-            stats.num_carried_forward = len(scheduler.in_flight_payloads())
+            stats.num_carried_forward = scheduler.in_flight_count()
         if scenario.is_async:
             # This round's dispatches still in transit when the buffer
             # flushed (they stay scheduled and land in a later round).
@@ -765,8 +801,8 @@ class FederatedSimulation:
         if not merged:
             raise RuntimeError(
                 f"round {round_index}: the async buffer received no arrivals — "
-                f"{len(selected)} selected, {stats.num_dropped} dropped out, "
-                f"{len(scheduler.pending_arrivals())} still in transit, {discarded} "
+                f"{len(selected_ids)} selected, {stats.num_dropped} dropped out, "
+                f"{scheduler.pending_arrival_count()} still in transit, {discarded} "
                 "discarded as too stale, and nothing was left in flight; lower the "
                 "dropout probability or select more clients per round"
             )
@@ -803,13 +839,15 @@ class FederatedSimulation:
         broadcast_state = self.server.broadcast()
 
         if self.config.scenario is None:
-            participants = self._select_clients()
+            selected_ids = self._select_client_ids()
+            participants = self.population.materialize(selected_ids)
             updates = self._train_clients(participants, broadcast_state, round_index)
+            self.population.release(selected_ids)
             trained = updates
             record = RoundRecord(
                 round_index=round_index,
                 global_accuracy=float("nan"),
-                num_selected=len(participants),
+                num_selected=len(selected_ids),
             )
         else:
             updates, trained, record = self._scenario_round(broadcast_state, round_index)
