@@ -3,7 +3,10 @@
 
 Runs the crypto/transport/mixing micro-benchmarks, the flat-parameter-plane
 attack/aggregation micro-benchmarks, the round-throughput sweep (clients/sec
-at 16/64/256 simulated clients, flat vs retained reference path), the
+at 16–1024 simulated clients, flat vs retained reference path, with a
+per-phase train/mix/reduce/merge breakdown), the sharded-round sweep
+(hierarchical aggregation at 1/2/4/8 leaf shards over 64–1024 clients,
+modeled critical-path throughput), the
 fault-recovery sweep (round throughput and recovery percentiles at
 0/5/20 % proxy-crash under 5 % frame corruption), the scheduler
 micro-benchmark (heap vs calendar queue at 10³/10⁴/10⁵ pending events), the
@@ -57,7 +60,7 @@ GRADSIM_UPDATES = 64
 GRADSIM_CLASSES = 8
 
 #: round-throughput sweep sizes (simulated clients per round)
-THROUGHPUT_COHORTS = (16, 64, 256)
+THROUGHPUT_COHORTS = (16, 64, 256, 512, 1024)
 
 
 def _make_updates(model, count: int):
@@ -113,9 +116,19 @@ def gradsim_attack_reference(broadcast, references, updates):
 
 
 def round_throughput(model, repeats: int) -> dict:
-    """Server-side round overhead (mix + aggregate), flat vs reference path."""
+    """Server-side round overhead (mix + aggregate), flat vs reference path.
+
+    Each cohort row also carries ``phase_seconds``, a wall-clock breakdown of
+    where a flat round goes: ``train`` (synthetic update synthesis — the
+    benchmark's stand-in for local training), ``mix`` (layer-wise MixNN
+    shuffle), ``reduce`` (the flat-plane mean over the row matrix), and
+    ``merge`` (rebuilding the named state dict from the reduced vector), so
+    a throughput sag at large cohorts is attributable to a specific stage.
+    """
+    from repro.federated.flat import flat_mean, flat_rows
     from repro.federated.update import aggregate_updates, aggregate_updates_reference
     from repro.mixnn.mixing import mix_updates, mix_updates_reference
+    from repro.nn.serialization import schema_of
     from repro.utils.rng import rng_from_seed
 
     sweep = {}
@@ -132,14 +145,102 @@ def round_throughput(model, repeats: int) -> dict:
 
         flat_seconds = _best_of(flat_round, repeats)
         reference_seconds = _best_of(reference_round, repeats)
+        mixed = mix_updates(updates, rng_from_seed(0))
+        schema = schema_of(mixed[0].state)
+        rows = flat_rows(mixed, schema)
+        reduced = flat_mean(rows, schema)
         sweep[str(cohort)] = {
             "flat_round_seconds": flat_seconds,
             "reference_round_seconds": reference_seconds,
             "flat_clients_per_sec": cohort / flat_seconds,
             "reference_clients_per_sec": cohort / reference_seconds,
             "speedup": reference_seconds / flat_seconds,
+            "phase_seconds": {
+                "train": _best_of(lambda c=cohort: _make_updates(model, c), repeats),
+                "mix": _best_of(
+                    lambda u=updates: mix_updates(u, rng_from_seed(0)), repeats
+                ),
+                "reduce": _best_of(lambda r=rows, s=schema: flat_mean(r, s), repeats),
+                "merge": _best_of(lambda v=reduced, s=schema: s.views(v), repeats),
+            },
         }
     return sweep
+
+
+#: sharded-round sweep: cohort sizes × leaf-shard counts.  Throughput is
+#: scored on the *modeled critical path* — ``max`` per-shard compute plus the
+#: root merge — because on a single-core container the inline backend runs
+#: leaves sequentially; wall-clock converges to the critical path exactly
+#: when cores ≥ shards, so both are recorded alongside ``cores``.
+SHARDED_COHORTS = (64, 256, 1024)
+SHARDED_SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def sharded_round_throughput() -> dict:
+    """Hierarchical-aggregation round throughput per (cohort × shard) cell.
+
+    Drives :class:`~repro.federated.sharding.ShardedRoundEngine` directly
+    (no accuracy evaluation, no scenario plane) over a lazy synthetic
+    population with the linear-probe model: one warm-up round materializes
+    the cohort, then one measured round reports the engine's own per-phase
+    timings.  ``modeled_round_seconds = max(train_i + reduce_i) + merge`` —
+    the wall-clock a round would take with one core per leaf shard —
+    and ``modeled_speedup_vs_1shard`` is the acceptance number (≥ 2.5× at
+    256+ clients with 4+ shards).  Deterministic training, single measured
+    round per cell.
+    """
+    import os
+
+    from repro.data import SyntheticPopulation
+    from repro.experiments.models import model_fn_for
+    from repro.federated import LocalTrainingConfig
+    from repro.federated.client import ClientPopulation
+    from repro.federated.sharding import ShardedRoundEngine
+    from repro.nn.serialization import schema_of
+    from repro.utils.rng import rng_from_seed
+
+    local = LocalTrainingConfig(local_epochs=1, batch_size=8)
+    section: dict = {"cores": os.cpu_count(), "backend": "inline", "cohorts": {}}
+    for cohort in SHARDED_COHORTS:
+        dataset = SyntheticPopulation(population_size=cohort, seed=0)
+        model_fn = model_fn_for(dataset)
+        population = ClientPopulation.for_dataset(dataset, model_fn, local, seed=0)
+        broadcast = model_fn(rng_from_seed(0)).state_dict()
+        schema = schema_of(broadcast)
+        client_ids = population.client_ids(range(cohort))
+        cells = {}
+        baseline_modeled = None
+        for num_shards in SHARDED_SHARD_COUNTS:
+            engine = ShardedRoundEngine(population, schema, num_shards, seed=0)
+            try:
+                engine.train_round(client_ids, broadcast, round_index=0)  # warm-up
+                engine.train_round(client_ids, broadcast, round_index=1)
+                timings = engine.last_timings
+            finally:
+                engine.close()
+            shard_seconds = [
+                train + reduce
+                for train, reduce in zip(
+                    timings["per_shard_train_seconds"],
+                    timings["per_shard_reduce_seconds"],
+                )
+            ]
+            modeled = max(shard_seconds) + timings["merge_seconds"]
+            cell = {
+                "num_shards": num_shards,
+                "wall_round_seconds": timings["wall_seconds"],
+                "max_shard_seconds": max(shard_seconds),
+                "merge_seconds": timings["merge_seconds"],
+                "modeled_round_seconds": modeled,
+                "wall_clients_per_sec": cohort / timings["wall_seconds"],
+                "modeled_clients_per_sec": cohort / modeled,
+            }
+            if num_shards == SHARDED_SHARD_COUNTS[0]:
+                baseline_modeled = modeled
+            cell["modeled_speedup_vs_1shard"] = baseline_modeled / modeled
+            cells[str(num_shards)] = cell
+        section["cohorts"][str(cohort)] = cells
+    return section
 
 
 #: scenario-benchmark workload: rounds per run and per-round churn level
@@ -590,6 +691,7 @@ def collect(repeats: int) -> dict:
         ),
     }
     results["round_throughput"] = round_throughput(model, repeats)
+    results["sharded_round_throughput"] = sharded_round_throughput()
     results["scenario_round_throughput"] = scenario_round_throughput(repeats)
     results["deadline_throughput_frontier"] = deadline_throughput_frontier()
     results["fault_recovery"] = fault_recovery()

@@ -85,6 +85,11 @@ __all__ = [
     "POPULATION_SCALES",
     "run_population_study",
     "render_population",
+    "ShardedRow",
+    "SHARDED_SHARD_COUNTS",
+    "SHARDED_CRASH_RATES",
+    "run_sharded_comparison",
+    "render_sharded",
 ]
 
 #: The extended defense roster (name -> factory taking the params object).
@@ -1180,5 +1185,149 @@ def render_population(row: PopulationRow) -> str:
             format_table(header, body),
             f"memory: {bound} — {row.peak_materialized} of {row.population_size} "
             f"clients ever materialized at once ({row.peak_traced_mb:.1f} MB traced peak)",
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# Sharded hierarchical aggregation study
+# ----------------------------------------------------------------------
+#: leaf-shard counts the ``sharded`` command sweeps by default
+SHARDED_SHARD_COUNTS = (1, 2, 4)
+#: per-(shard, round, attempt) crash probabilities swept by default (0 is the
+#: fault-free row; the non-zero row exercises retry/backoff and failover)
+SHARDED_CRASH_RATES = (0.0, 0.3)
+
+
+@dataclass
+class ShardedRow:
+    """One (shard count × crash rate) cell of the sharded-plane study."""
+
+    num_shards: int
+    shard_crash_rate: float
+    clients_per_round: int
+    wall_seconds: float
+    rounds_per_sec: float
+    final_accuracy: float
+    #: final global state byte-equal to the serial (``shards=0``) run of the
+    #: same seeded workload — the plane's bit-identity contract, measured
+    byte_identical: bool
+    crashes: int
+    retried: int
+    failed_over: int
+
+
+def run_sharded_comparison(
+    dataset_name: str = "motionsense",
+    scale: str = "ci",
+    seed: int = 0,
+    rounds: int = 3,
+    num_shards: tuple[int, ...] = SHARDED_SHARD_COUNTS,
+    shard_crash_rates: tuple[float, ...] = SHARDED_CRASH_RATES,
+    clients_per_round: int | None = None,
+) -> list[ShardedRow]:
+    """Sweep shard counts × crash rates; score each cell against serial.
+
+    Every cell runs the same seeded workload (selection, training, and crash
+    draws are pure functions of ``(seed, entity, round)``) through the
+    sharded data plane, varying only the plan width and the injected
+    shard-crash probability.  For each crash rate one serial (``shards=0``)
+    reference run anchors the bit-identity check: by the merge-order
+    contract, every cell's final state must be byte-equal to it, crashes and
+    failovers included.  Each faulted cell's ledger is validated and its
+    hierarchical transcript verified before the row is emitted.
+    """
+    import time
+    from dataclasses import replace as dc_replace
+
+    from ..federated import ScenarioConfig
+    from ..federated.faults import FaultConfig
+
+    def run_once(shards: int, crash_rate: float):
+        dataset, params = build_experiment(dataset_name, scale=scale, seed=seed)
+        model_fn = model_fn_for(dataset)
+        config = params.simulation_config(seed=seed, rounds=rounds)
+        overrides: dict = {
+            "num_shards": shards,
+            "scenario": ScenarioConfig(
+                faults=FaultConfig(shard_crash_rate=crash_rate)
+            ),
+        }
+        if clients_per_round is not None:
+            overrides["clients_per_round"] = clients_per_round
+        config = dc_replace(config, **overrides)
+        start = time.perf_counter()
+        result = FederatedSimulation(dataset, model_fn, config).run()
+        return result, time.perf_counter() - start
+
+    rows: list[ShardedRow] = []
+    for crash_rate in shard_crash_rates:
+        serial, _ = run_once(0, crash_rate)
+        for shards in num_shards:
+            result, wall = run_once(shards, crash_rate)
+            result.fault_ledger.validate()
+            result.shard_transcript.verify()
+            identical = all(
+                np.array_equal(serial.final_state[name], value)
+                for name, value in result.final_state.items()
+            )
+            crash_entries = [
+                entry
+                for entry in result.fault_ledger.entries
+                if entry.kind == "shard-crash"
+            ]
+            rows.append(
+                ShardedRow(
+                    num_shards=shards,
+                    shard_crash_rate=crash_rate,
+                    clients_per_round=result.rounds[-1].num_selected,
+                    wall_seconds=wall,
+                    rounds_per_sec=rounds / wall,
+                    final_accuracy=result.accuracy_curve()[-1],
+                    byte_identical=identical,
+                    crashes=len(crash_entries),
+                    retried=sum(
+                        1 for entry in crash_entries if entry.resolution == "retried"
+                    ),
+                    failed_over=sum(
+                        1 for entry in crash_entries if entry.resolution == "failed-over"
+                    ),
+                )
+            )
+    return rows
+
+
+def render_sharded(rows: list[ShardedRow]) -> str:
+    header = [
+        "shards",
+        "crash rate",
+        "wall s",
+        "rounds/s",
+        "final acc",
+        "byte-identical",
+        "crashes",
+        "retried",
+        "failed over",
+    ]
+    body = [
+        [
+            row.num_shards,
+            row.shard_crash_rate,
+            round(row.wall_seconds, 2),
+            round(row.rounds_per_sec, 2),
+            round(row.final_accuracy, 3),
+            "yes" if row.byte_identical else "NO",
+            row.crashes,
+            row.retried,
+            row.failed_over,
+        ]
+        for row in rows
+    ]
+    identical = sum(1 for row in rows if row.byte_identical)
+    return "\n".join(
+        [
+            format_table(header, body),
+            f"bit-identity: {identical}/{len(rows)} cells byte-equal to the "
+            f"serial path (merge-order contract)",
         ]
     )

@@ -12,6 +12,7 @@ clients, the server and the attack all share.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -28,7 +29,7 @@ from ..nn import (
     Sequential,
 )
 
-__all__ = ["paper_cnn", "deepface_like", "linear_probe", "model_fn_for"]
+__all__ = ["paper_cnn", "deepface_like", "linear_probe", "ModelFactory", "model_fn_for"]
 
 
 def paper_cnn(
@@ -106,15 +107,52 @@ def linear_probe(
     return Sequential(Flatten(), Linear(flat, num_classes, rng=rng))
 
 
+@dataclass(frozen=True)
+class ModelFactory:
+    """A picklable model factory: architecture name + constructor arguments.
+
+    Same call signature as the closure factories it replaces (an RNG in, a
+    fresh model out), but representable as plain data — so a factory can
+    cross a process boundary.  The sharded data plane pickles it into its
+    spawn workers, where each worker rebuilds identical model replicas.
+    """
+
+    architecture: str
+    input_shape: tuple[int, ...]
+    num_classes: int
+    conv_layers: int = 2
+
+    _BUILDERS = {
+        "linear_probe": linear_probe,
+        "deepface_like": deepface_like,
+        "paper_cnn": paper_cnn,
+    }
+
+    def __post_init__(self) -> None:
+        if self.architecture not in self._BUILDERS:
+            raise ValueError(
+                f"unknown architecture {self.architecture!r}; choose from "
+                f"{tuple(self._BUILDERS)}"
+            )
+
+    def __call__(self, rng: np.random.Generator) -> Module:
+        if self.architecture == "paper_cnn":
+            return paper_cnn(
+                self.input_shape, self.num_classes, rng, conv_layers=self.conv_layers
+            )
+        builder = self._BUILDERS[self.architecture]
+        return builder(self.input_shape, self.num_classes, rng)
+
+
 def model_fn_for(
     dataset: FederatedDataset,
     conv_layers: int = 2,
 ) -> Callable[[np.random.Generator], Module]:
     """The paper's architecture choice for a given dataset."""
     if len(dataset.input_shape) == 1:
-        return lambda rng: linear_probe(dataset.input_shape, dataset.num_classes, rng)
+        return ModelFactory("linear_probe", tuple(dataset.input_shape), dataset.num_classes)
     if dataset.name == "lfw":
-        return lambda rng: deepface_like(dataset.input_shape, dataset.num_classes, rng)
-    return lambda rng: paper_cnn(
-        dataset.input_shape, dataset.num_classes, rng, conv_layers=conv_layers
+        return ModelFactory("deepface_like", tuple(dataset.input_shape), dataset.num_classes)
+    return ModelFactory(
+        "paper_cnn", tuple(dataset.input_shape), dataset.num_classes, conv_layers=conv_layers
     )

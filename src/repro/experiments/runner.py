@@ -47,6 +47,7 @@ SCENARIO_EXPERIMENTS = (
     "chaos",
     "byzantine",
     "population",
+    "sharded",
 )
 
 
@@ -164,6 +165,17 @@ def run_scenario_experiment(name: str, args: argparse.Namespace) -> str:
             latency_median=args.latency_median,
         )
         lines.append(extensions.render_chaos(rows))
+    elif name == "sharded":
+        rows = extensions.run_sharded_comparison(
+            args.dataset,
+            scale=args.scale,
+            seed=args.seed,
+            rounds=args.rounds if args.rounds is not None else 3,
+            num_shards=args.num_shards,
+            shard_crash_rates=args.shard_crash_rates,
+            clients_per_round=args.clients,
+        )
+        lines.append(extensions.render_sharded(rows))
     elif name == "byzantine":
         rows = extensions.run_byzantine_comparison(
             args.dataset,
@@ -223,6 +235,19 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
     return value
+
+
+def _positive_int_list(label: str):
+    def parse(text: str) -> tuple[int, ...]:
+        try:
+            values = tuple(int(part) for part in text.split(",") if part.strip())
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"expected comma-separated ints, got {text!r}")
+        if not values or any(value < 1 for value in values):
+            raise argparse.ArgumentTypeError(f"{label} must be >= 1, got {text!r}")
+        return values
+
+    return parse
 
 
 def _positive_list(label: str):
@@ -448,6 +473,33 @@ def main(argv: list[str] | None = None) -> int:
         default=0.0,
         help="per-(attacker, round) ciphertext replay probability (MixNN path)",
     )
+    from .extensions import SHARDED_CRASH_RATES, SHARDED_SHARD_COUNTS
+
+    sharded = parser.add_argument_group(
+        "sharding knobs",
+        "consumed by the sharded command (hierarchical aggregation study)",
+    )
+    sharded.add_argument(
+        "--num-shards",
+        type=_positive_int_list("shard counts"),
+        default=SHARDED_SHARD_COUNTS,
+        help="comma-separated leaf-shard counts to sweep",
+    )
+    sharded.add_argument(
+        "--shard-crash-rates",
+        type=_probability_list("shard crash rates"),
+        default=SHARDED_CRASH_RATES,
+        help="comma-separated per-(shard, round, attempt) crash probabilities "
+        "(include 0 for the fault-free rows)",
+    )
+    sharded.add_argument(
+        "--clients",
+        type=_positive_int,
+        default=None,
+        help="clients selected per round (default: per --scale preset); must "
+        "be >= the largest shard count",
+    )
+
     population = parser.add_argument_group(
         "population knobs",
         "consumed by the population command (synthetic million-client study; "

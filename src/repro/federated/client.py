@@ -23,6 +23,7 @@ __all__ = [
     "FederatedClient",
     "ClientPopulation",
     "train_locally",
+    "train_rows_into",
     "evaluate_accuracy",
 ]
 
@@ -63,6 +64,35 @@ def train_locally(
             optimizer.step()
             last_loss = loss.item()
     return last_loss
+
+
+def train_rows_into(
+    population: "ClientPopulation",
+    slot_client_pairs,
+    broadcast_state: dict,
+    round_index: int,
+    schema,
+    rows: np.ndarray,
+) -> list[tuple[int, int, float]]:
+    """Train a cohort slice and pack each refined state into its row slot.
+
+    The workhorse of the sharded data plane, shared verbatim by the inline
+    backend and the spawn workers so both execute identical float operations:
+    each ``(slot, client_id)`` pair trains through the population's ordinary
+    :meth:`FederatedClient.local_update` (whose RNG is a pure function of
+    ``(seed, client_id, round)``) and its parameters land in ``rows[slot]``
+    in schema order — the same bytes a serial round's update would carry.
+
+    Returns per-slot ``(client_id, num_samples, final_loss)`` bookkeeping in
+    input order.
+    """
+    out: list[tuple[int, int, float]] = []
+    for slot, client_id in slot_client_pairs:
+        client = population.get(client_id)
+        update = client.local_update(broadcast_state, round_index)
+        schema.write_into(rows[slot], update.state)
+        out.append((client_id, update.num_samples, update.metadata["final_loss"]))
+    return out
 
 
 def evaluate_accuracy(model: Module, dataset: ArrayDataset, batch_size: int = 256) -> float:

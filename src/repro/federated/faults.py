@@ -53,6 +53,7 @@ FAULT_KINDS = (
     "proxy-crash",
     "mixnode-crash",
     "merge",
+    "shard-crash",
 )
 
 #: How a fault instance was resolved (every ledger entry carries exactly one).
@@ -60,7 +61,10 @@ RESOLUTIONS = ("retried", "failed-over", "discarded")
 
 #: Kinds whose recovery delay happens *after* the round's flush fired (the
 #: transport kinds' delays are already embodied in shifted arrival times).
-POST_FLUSH_KINDS = ("enclave", "attestation", "proxy-crash", "mixnode-crash", "merge")
+#: Shard crashes belong here too: a leaf aggregator dies while reducing its
+#: cohort slice, so its retry/failover delay lands on the round's recovery
+#: budget, never on individual arrival times.
+POST_FLUSH_KINDS = ("enclave", "attestation", "proxy-crash", "mixnode-crash", "merge", "shard-crash")
 
 
 @dataclass(frozen=True)
@@ -85,6 +89,9 @@ class FaultConfig:
     proxy_crash_rate: float = 0.0
     #: P(a server merge attempt fails) per (round, attempt)
     merge_failure_rate: float = 0.0
+    #: P(a leaf shard aggregator crashes) per (shard, round, attempt) — only
+    #: consulted when the simulation runs the sharded data plane
+    shard_crash_rate: float = 0.0
     #: a sync round may close once this fraction of the surviving cohort has
     #: merged (1.0 = wait for everyone, the fault-free semantics)
     quorum_fraction: float = 1.0
@@ -109,6 +116,7 @@ class FaultConfig:
             "attestation_failure_rate",
             "proxy_crash_rate",
             "merge_failure_rate",
+            "shard_crash_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate < 1.0:
@@ -146,6 +154,7 @@ class FaultConfig:
                 "attestation_failure_rate",
                 "proxy_crash_rate",
                 "merge_failure_rate",
+                "shard_crash_rate",
             )
         )
 
@@ -230,6 +239,12 @@ class FaultInjector:
     def merge_fault(self, round_index: int, attempt: int) -> bool:
         """Does this server merge attempt fail?"""
         return self._draw(self.config.merge_failure_rate, "merge", round_index, attempt)
+
+    def shard_crash(self, shard_index: int, round_index: int, attempt: int) -> bool:
+        """Does leaf shard aggregator ``shard_index`` crash on this attempt?"""
+        return self._draw(
+            self.config.shard_crash_rate, "shard-crash", shard_index, round_index, attempt
+        )
 
     # ------------------------------------------------------------------
     # Recovery-policy draws

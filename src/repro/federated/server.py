@@ -55,6 +55,7 @@ class AggregationServer:
         fault_ledger=None,
         policy: AggregationPolicy | None = None,
         transcript: RoundTranscript | None = None,
+        num_shards: int = 0,
     ) -> None:
         self.global_state = {k: np.asarray(v, dtype=np.float32).copy() for k, v in initial_state.items()}
         self.sample_weighted = sample_weighted
@@ -72,6 +73,13 @@ class AggregationServer:
         self._fault_ledger = fault_ledger
         #: selectable robust-aggregation rule; ``None`` is the classical mean
         self.policy = policy
+        if num_shards < 0:
+            raise ValueError(f"num_shards must be >= 0, got {num_shards}")
+        #: leaf-shard count of the sharded merge path (0 = the serial
+        #: reference).  Clamped per round to the cohort size: every rule then
+        #: composes from per-shard partials / Gram tiles, byte-equal to the
+        #: serial path by the sharding module's merge-order contract.
+        self.num_shards = num_shards
         #: hash-chained audit log of every merge (always on — pure SHA-256
         #: bookkeeping, no RNG or numeric effect on the aggregate)
         self.transcript = transcript if transcript is not None else RoundTranscript()
@@ -139,7 +147,18 @@ class AggregationServer:
         if self._retain_received is None or self._retain_received > 0:
             self.received_log.append(updates)
         policy = self.policy
-        if policy is None or policy.rule == "mean":
+        shard_plan = self._shard_plan(len(updates))
+        if shard_plan is not None:
+            effective = policy if policy is not None else AggregationPolicy()
+            new_state, kept, dropped = effective.aggregate(
+                updates,
+                reference=self.global_state,
+                sample_weighted=self.sample_weighted,
+                staleness_alpha=self.staleness_alpha,
+                shard_plan=shard_plan,
+            )
+            rule = effective.rule
+        elif policy is None or policy.rule == "mean":
             new_state = aggregate_updates(
                 updates,
                 sample_weighted=self.sample_weighted,
@@ -167,3 +186,11 @@ class AggregationServer:
         self.global_state = new_state
         self.round_index += 1
         return self.global_state
+
+    def _shard_plan(self, cohort_size: int):
+        """The round's merge-side shard plan, or ``None`` for the serial path."""
+        if self.num_shards <= 0:
+            return None
+        from .sharding import ShardPlan
+
+        return ShardPlan.build(cohort_size, min(self.num_shards, cohort_size))

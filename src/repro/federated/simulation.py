@@ -78,8 +78,10 @@ from .events import (
 from .adversary import AdversaryInjector, AdversaryLedger, update_contributors
 from .aggregation import AGGREGATION_RULES, AggregationPolicy
 from .faults import POST_FLUSH_KINDS, FaultInjector, FaultLedger
+from ..nn.serialization import schema_of
 from .scenario import AlwaysAvailable, ScenarioConfig
 from .server import AggregationServer
+from .sharding import SHARD_BACKENDS, ShardedRoundEngine
 from .update import ModelUpdate
 
 __all__ = ["SimulationConfig", "RoundRecord", "SimulationResult", "FederatedSimulation"]
@@ -124,6 +126,19 @@ class SimulationConfig:
     #: heap reference).  Both pop bit-identical event traces; the knob exists
     #: so regressions can be bisected against the reference.
     scheduler: str = "calendar"
+    #: leaf-shard count of the sharded data plane.  ``0`` (the default) keeps
+    #: the serial in-process round path — the bit-identity reference.
+    #: ``>= 1`` partitions every round's cohort into that many leaf
+    #: aggregators (training + per-shard reduction + hierarchical transcript),
+    #: byte-equal to the reference by the merge-order contract of
+    #: :mod:`repro.federated.sharding`; a round whose cohort is smaller than
+    #: ``num_shards`` raises a typed ``ShardPlanError``.
+    num_shards: int = 0
+    #: how leaf shards execute — ``"inline"`` (in-process, the sharded
+    #: algebra without IPC) or ``"process"`` (a spawn pool over
+    #: ``multiprocessing.shared_memory``; requires a picklable ``model_fn``
+    #: such as :class:`~repro.experiments.models.ModelFactory`).
+    shard_backend: str = "inline"
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -146,6 +161,14 @@ class SimulationConfig:
             )
         if self.parallelism is not None and self.parallelism < 1:
             raise ValueError(f"parallelism must be >= 1 (or None for auto), got {self.parallelism}")
+        if self.num_shards < 0:
+            raise ValueError(
+                f"num_shards must be >= 0 (0 = the serial reference), got {self.num_shards}"
+            )
+        if self.shard_backend not in SHARD_BACKENDS:
+            raise ValueError(
+                f"unknown shard backend {self.shard_backend!r}; choose from {SHARD_BACKENDS}"
+            )
 
     def aggregation_policy(self) -> "AggregationPolicy | None":
         """The server policy this config selects (``None`` = classical mean)."""
@@ -255,6 +278,9 @@ class SimulationResult:
     adversary_ledger: AdversaryLedger | None = None
     #: the server's hash-chained round transcript (always present)
     transcript: object | None = None
+    #: the hierarchical shard transcript (``None`` unless the run sharded) —
+    #: one hash chain per leaf aggregator plus a root chain over shard heads
+    shard_transcript: object | None = None
 
     def accuracy_curve(self) -> list[float]:
         return [r.global_accuracy for r in self.rounds]
@@ -385,6 +411,24 @@ class FederatedSimulation:
         self._adversary_injector = (
             AdversaryInjector(config.seed, adversary) if adversary is not None else None
         )
+        # Sharded data plane: one root-side engine per run, owning the shard
+        # plan, the (lazy) spawn pool + shared-memory plane, and the
+        # hierarchical transcript.  num_shards=0 keeps the serial reference.
+        self._shard_engine: ShardedRoundEngine | None = None
+        if config.num_shards >= 1:
+            self._shard_engine = ShardedRoundEngine(
+                population=self.population,
+                schema=schema_of(initial_model.state_dict()),
+                num_shards=config.num_shards,
+                backend=config.shard_backend,
+                seed=config.seed,
+                fault_injector=self._fault_injector,
+                fault_ledger=self.fault_ledger,
+                dataset=dataset,
+                model_fn=model_fn,
+                local_config=config.local,
+                capacity=config.clients_per_round or len(self.population),
+            )
         self.server = AggregationServer(
             initial_model.state_dict(),
             sample_weighted=config.sample_weighted,
@@ -400,6 +444,7 @@ class FederatedSimulation:
             fault_injector=self._fault_injector,
             fault_ledger=self.fault_ledger,
             policy=config.aggregation_policy(),
+            num_shards=config.num_shards,
         )
         if self._fault_injector is not None:
             self.defense.attach_fault_plane(self._fault_injector, self.fault_ledger)
@@ -437,6 +482,22 @@ class FederatedSimulation:
             return self.population.client_ids(range(size))
         chosen = self._selection_rng.choice(size, size=count, replace=False)
         return self.population.client_ids(sorted(int(index) for index in chosen))
+
+    def _train_cohort(
+        self, client_ids: list[int], broadcast_state: dict, round_index: int
+    ) -> list[ModelUpdate]:
+        """Train a round's cohort, by id, through the configured data plane.
+
+        With ``num_shards=0`` this is the serial reference (materialize +
+        thread-pool training); with shards the cohort routes through the
+        :class:`~repro.federated.sharding.ShardedRoundEngine`, bit-identical
+        by the merge-order contract.  Callers release the cohort afterwards
+        exactly as before.
+        """
+        if self._shard_engine is not None:
+            return self._shard_engine.train_round(client_ids, broadcast_state, round_index)
+        participants = self.population.materialize(client_ids)
+        return self._train_clients(participants, broadcast_state, round_index)
 
     def _train_clients(
         self, participants: list[FederatedClient], broadcast_state: dict, round_index: int
@@ -737,13 +798,12 @@ class FederatedSimulation:
             )
 
         # Only the post-funnel cohort is ever materialized: replica + shard
-        # construction is deferred to here, and for a lazy population it is
-        # released again once the round's updates are merged.
-        to_train = self.population.materialize(to_train_ids)
-        # Train through the flat-plane thread pool *before* replaying virtual
-        # time: each update is a pure function of (client, round), so the
-        # event engine only decides when results arrive, never what they are.
-        trained = self._train_clients(to_train, broadcast_state, round_index)
+        # construction is deferred to the data plane, and for a lazy
+        # population it is released again once the round's updates are merged.
+        # Training runs *before* replaying virtual time: each update is a pure
+        # function of (client, round), so the event engine only decides when
+        # results arrive, never what they are.
+        trained = self._train_cohort(to_train_ids, broadcast_state, round_index)
         if self._adversary_injector is not None:
             # Poison after training, before transport: a Byzantine participant
             # trains honestly enough to know the benign distribution (ALIE),
@@ -840,8 +900,7 @@ class FederatedSimulation:
 
         if self.config.scenario is None:
             selected_ids = self._select_client_ids()
-            participants = self.population.materialize(selected_ids)
-            updates = self._train_clients(participants, broadcast_state, round_index)
+            updates = self._train_cohort(selected_ids, broadcast_state, round_index)
             self.population.release(selected_ids)
             trained = updates
             record = RoundRecord(
@@ -935,8 +994,13 @@ class FederatedSimulation:
         yet in the record list execute, so a killed run restarted from its
         last checkpoint produces bit-identical records and final weights.
         """
-        while len(self._records) < self.config.rounds:
-            self._records.append(self.run_round())
+        try:
+            while len(self._records) < self.config.rounds:
+                self._records.append(self.run_round())
+        finally:
+            # The spawn pool and its /dev/shm segments must not outlive the
+            # run, however it ends; the engine respawns lazily if reused.
+            self.close()
         if self._adversary_injector is not None:
             # Poison still in flight when the run ends never reached the
             # model: sweep it as filtered so the ledger always balances.
@@ -950,7 +1014,15 @@ class FederatedSimulation:
             fault_ledger=self.fault_ledger,
             adversary_ledger=self.adversary_ledger,
             transcript=self.server.transcript,
+            shard_transcript=(
+                self._shard_engine.transcript if self._shard_engine is not None else None
+            ),
         )
+
+    def close(self) -> None:
+        """Release the sharded data plane's pool and shared segments, if any."""
+        if self._shard_engine is not None:
+            self._shard_engine.close()
 
     # ------------------------------------------------------------------
     # Checkpoint / resume
@@ -986,6 +1058,11 @@ class FederatedSimulation:
             "adversary_ledger": self.adversary_ledger,
             "transcript": self.server.transcript,
         }
+        if self._shard_engine is not None:
+            # The pool and shared plane are never pickled (rebuilt lazily);
+            # what persists is the plan, the in-flight shard set, and the
+            # hierarchical transcript.
+            state["shard_state"] = self._shard_engine.checkpoint_state()
         return pickle.dumps(state)
 
     def restore_checkpoint(self, blob: bytes) -> None:
@@ -1017,6 +1094,9 @@ class FederatedSimulation:
         transcript = state.get("transcript")
         if transcript is not None:
             self.server.transcript = transcript
+        shard_state = state.get("shard_state")
+        if self._shard_engine is not None and shard_state is not None:
+            self._shard_engine.restore_checkpoint_state(shard_state)
         # Re-wire the live fault plane: the unpickled defense carries copies
         # of the hooks; point everything back at this simulation's objects.
         self.server._fault_ledger = self.fault_ledger
