@@ -6,7 +6,8 @@ attack/aggregation micro-benchmarks, the round-throughput sweep (clients/sec
 at 16–1024 simulated clients, flat vs retained reference path, with a
 per-phase train/mix/reduce/merge breakdown), the sharded-round sweep
 (hierarchical aggregation at 1/2/4/8 leaf shards over 64–1024 clients,
-modeled critical-path throughput), the
+modeled critical-path throughput), the cohort-batched-training comparison
+(serial vs one stacked forward/backward at 16/64/256-client cohorts), the
 fault-recovery sweep (round throughput and recovery percentiles at
 0/5/20 % proxy-crash under 5 % frame corruption), the scheduler
 micro-benchmark (heap vs calendar queue at 10³/10⁴/10⁵ pending events), the
@@ -240,6 +241,66 @@ def sharded_round_throughput() -> dict:
             cell["modeled_speedup_vs_1shard"] = baseline_modeled / modeled
             cells[str(num_shards)] = cell
         section["cohorts"][str(cohort)] = cells
+    return section
+
+
+#: cohort-batched-training sweep sizes (clients trained per stacked pass)
+COHORT_TRAIN_COHORTS = (16, 64, 256)
+
+
+def cohort_train_seconds(repeats: int = 3) -> dict:
+    """Serial vs cohort-batched local training for one round's cohort.
+
+    Times the two row-plane trainers head to head on identical work: the
+    serial :func:`~repro.federated.client.train_rows_into` loop (one model
+    replica, one forward/backward per client per batch) against
+    :class:`~repro.federated.cohort.CohortTrainer` (the whole cohort stacked
+    into one ``(M, D)`` weight block, one batched forward/backward per step).
+    Linear-probe model, one local epoch, batch size 8 — the training recipe
+    of the round-throughput sweep.  ``speedup`` at the 256-client row is the
+    acceptance number (≥ 5×).  Both paths land rows in the same layout; a
+    bit-equality check guards against benchmarking diverged code.
+    """
+    import numpy as np
+
+    from repro.data import SyntheticPopulation
+    from repro.experiments.models import model_fn_for
+    from repro.federated import LocalTrainingConfig
+    from repro.federated.client import ClientPopulation, train_rows_into
+    from repro.federated.cohort import CohortTrainer
+    from repro.nn.serialization import schema_of
+    from repro.utils.rng import rng_from_seed
+
+    local = LocalTrainingConfig(local_epochs=1, batch_size=8)
+    section: dict = {"local_epochs": 1, "batch_size": 8, "cohorts": {}}
+    for cohort in COHORT_TRAIN_COHORTS:
+        dataset = SyntheticPopulation(population_size=cohort, seed=0)
+        model_fn = model_fn_for(dataset)
+        population = ClientPopulation.for_dataset(dataset, model_fn, local, seed=0)
+        broadcast = model_fn(rng_from_seed(0)).state_dict()
+        schema = schema_of(broadcast)
+        pairs = list(enumerate(population.client_ids(range(cohort))))
+        rows_serial = np.empty((cohort, schema.total_size), dtype=np.float32)
+        rows_batched = np.empty_like(rows_serial)
+        trainer = CohortTrainer(population, schema)
+        # Warm-up materializes the lazy population and primes both paths.
+        train_rows_into(population, pairs, broadcast, 0, schema, rows_serial)
+        trainer.train_rows(pairs, broadcast, 0, rows_batched)
+        np.testing.assert_array_equal(rows_serial, rows_batched)
+        serial = _best_of(
+            lambda: train_rows_into(population, pairs, broadcast, 1, schema, rows_serial),
+            repeats,
+        )
+        batched = _best_of(
+            lambda: trainer.train_rows(pairs, broadcast, 1, rows_batched), repeats
+        )
+        section["cohorts"][str(cohort)] = {
+            "serial_seconds": serial,
+            "batched_seconds": batched,
+            "speedup": serial / batched,
+            "serial_clients_per_sec": cohort / serial,
+            "batched_clients_per_sec": cohort / batched,
+        }
     return section
 
 
@@ -692,6 +753,7 @@ def collect(repeats: int) -> dict:
     }
     results["round_throughput"] = round_throughput(model, repeats)
     results["sharded_round_throughput"] = sharded_round_throughput()
+    results["cohort_train_seconds"] = cohort_train_seconds(repeats)
     results["scenario_round_throughput"] = scenario_round_throughput(repeats)
     results["deadline_throughput_frontier"] = deadline_throughput_frontier()
     results["fault_recovery"] = fault_recovery()

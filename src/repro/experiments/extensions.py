@@ -90,6 +90,10 @@ __all__ = [
     "SHARDED_CRASH_RATES",
     "run_sharded_comparison",
     "render_sharded",
+    "CohortRow",
+    "COHORT_SIZES",
+    "run_cohort_study",
+    "render_cohort",
 ]
 
 #: The extended defense roster (name -> factory taking the params object).
@@ -1329,5 +1333,135 @@ def render_sharded(rows: list[ShardedRow]) -> str:
             format_table(header, body),
             f"bit-identity: {identical}/{len(rows)} cells byte-equal to the "
             f"serial path (merge-order contract)",
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# Cohort-batched training study: serial loop vs one stacked pass
+# ----------------------------------------------------------------------
+
+#: cohort sizes swept by the cohort command (clients per stacked pass)
+COHORT_SIZES = (16, 64, 256)
+
+
+@dataclass
+class CohortRow:
+    """One cohort size of the serial-vs-batched local-training comparison."""
+
+    cohort_size: int
+    local_epochs: int
+    serial_seconds: float
+    batched_seconds: float
+    speedup: float
+    serial_clients_per_sec: float
+    batched_clients_per_sec: float
+    #: refined rows byte-equal to the serial path — the linear-probe
+    #: bit-identity contract (conv architectures promise 1e-6 relative
+    #: tolerance instead; the synthetic population trains a linear probe)
+    bit_identical: bool
+    max_abs_deviation: float
+
+
+def run_cohort_study(
+    seed: int = 0,
+    cohort_sizes: tuple[int, ...] = COHORT_SIZES,
+    local_epochs: int = 1,
+    batch_size: int = 8,
+    repeats: int = 3,
+) -> list[CohortRow]:
+    """Time one round's local training serial vs cohort-batched per size.
+
+    Runs on its own synthetic linear-probe population (same workload as the
+    ``cohort_train_seconds`` benchmark): for each cohort size the identical
+    seeded workload trains once through the serial
+    :func:`~repro.federated.client.train_rows_into` loop and once through
+    :class:`~repro.federated.cohort.CohortTrainer`'s stacked pass, best-of-
+    ``repeats`` each after a shared warm-up.  Every row also *measures* the
+    numerical contract: for this architecture the refined ``(M, D)`` rows
+    must be byte-equal between the two paths.
+    """
+    import time
+
+    from ..data import SyntheticPopulation
+    from ..federated import LocalTrainingConfig
+    from ..federated.client import ClientPopulation, train_rows_into
+    from ..federated.cohort import CohortTrainer
+    from ..nn.serialization import schema_of
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    local = LocalTrainingConfig(local_epochs=local_epochs, batch_size=batch_size)
+    rows: list[CohortRow] = []
+    for cohort in cohort_sizes:
+        dataset = SyntheticPopulation(population_size=cohort, seed=seed)
+        model_fn = model_fn_for(dataset)
+        population = ClientPopulation.for_dataset(dataset, model_fn, local, seed=seed)
+        broadcast = model_fn(rng_from_seed(seed)).state_dict()
+        schema = schema_of(broadcast)
+        pairs = list(enumerate(population.client_ids(range(cohort))))
+        rows_serial = np.empty((cohort, schema.total_size), dtype=np.float32)
+        rows_batched = np.empty_like(rows_serial)
+        trainer = CohortTrainer(population, schema)
+        train_rows_into(population, pairs, broadcast, 0, schema, rows_serial)  # warm-up
+        trainer.train_rows(pairs, broadcast, 0, rows_batched)
+        serial = best_of(
+            lambda: train_rows_into(population, pairs, broadcast, 1, schema, rows_serial)
+        )
+        batched = best_of(lambda: trainer.train_rows(pairs, broadcast, 1, rows_batched))
+        rows.append(
+            CohortRow(
+                cohort_size=cohort,
+                local_epochs=local_epochs,
+                serial_seconds=serial,
+                batched_seconds=batched,
+                speedup=serial / batched,
+                serial_clients_per_sec=cohort / serial,
+                batched_clients_per_sec=cohort / batched,
+                bit_identical=np.array_equal(rows_serial, rows_batched),
+                max_abs_deviation=float(np.abs(rows_serial - rows_batched).max()),
+            )
+        )
+    return rows
+
+
+def render_cohort(rows: list[CohortRow]) -> str:
+    header = [
+        "cohort",
+        "epochs",
+        "serial s",
+        "batched s",
+        "speedup",
+        "serial cl/s",
+        "batched cl/s",
+        "bit-identical",
+        "max |dev|",
+    ]
+    body = [
+        [
+            row.cohort_size,
+            row.local_epochs,
+            round(row.serial_seconds, 4),
+            round(row.batched_seconds, 4),
+            round(row.speedup, 2),
+            round(row.serial_clients_per_sec, 1),
+            round(row.batched_clients_per_sec, 1),
+            "yes" if row.bit_identical else "NO",
+            f"{row.max_abs_deviation:.1e}",
+        ]
+        for row in rows
+    ]
+    identical = sum(1 for row in rows if row.bit_identical)
+    return "\n".join(
+        [
+            format_table(header, body),
+            f"bit-identity: {identical}/{len(rows)} cohort sizes byte-equal to "
+            f"the serial training loop (linear-probe contract)",
         ]
     )

@@ -48,6 +48,7 @@ SCENARIO_EXPERIMENTS = (
     "byzantine",
     "population",
     "sharded",
+    "cohort",
 )
 
 
@@ -101,6 +102,19 @@ def run_scenario_experiment(name: str, args: argparse.Namespace) -> str:
             [
                 f"== population (scale={args.scale}, seed={args.seed}) ==",
                 extensions.render_population(row),
+            ]
+        )
+    if name == "cohort":
+        # runs on its own synthetic population, not one of the four datasets
+        rows = extensions.run_cohort_study(
+            seed=args.seed,
+            cohort_sizes=args.cohort_sizes,
+            local_epochs=args.local_epochs,
+        )
+        return "\n".join(
+            [
+                f"== cohort (seed={args.seed}, local_epochs={args.local_epochs}) ==",
+                extensions.render_cohort(rows),
             ]
         )
     lines = [
@@ -522,6 +536,26 @@ def main(argv: list[str] | None = None) -> int:
         type=_positive_float,
         default=None,
         help="Dirichlet concentration for shard label mixtures (default: uniform)",
+    )
+
+    from .extensions import COHORT_SIZES
+
+    cohort = parser.add_argument_group(
+        "cohort knobs",
+        "consumed by the cohort command (serial vs cohort-batched training "
+        "study on a synthetic population; ignores --dataset)",
+    )
+    cohort.add_argument(
+        "--cohort-sizes",
+        type=_positive_int_list("cohort sizes"),
+        default=COHORT_SIZES,
+        help="comma-separated cohort sizes (clients per stacked pass) to sweep",
+    )
+    cohort.add_argument(
+        "--local-epochs",
+        type=_positive_int,
+        default=1,
+        help="local epochs per client in the timed comparison",
     )
 
     args = parser.parse_args(argv)

@@ -261,6 +261,21 @@ class ClientPopulation:
         """How many clients are materialized right now."""
         return len(self._cache)
 
+    @property
+    def model_fn(self):
+        """The population's model factory (shared by every client)."""
+        return self._model_fn
+
+    @property
+    def local_config(self) -> LocalTrainingConfig:
+        """The population's local-training hyperparameters."""
+        return self._config
+
+    @property
+    def seed(self) -> int:
+        """The population's base seed (training RNGs derive from it)."""
+        return self._seed
+
     def client_ids(self, indices) -> list[int]:
         """Map population indices (the selection RNG's draw space) to ids."""
         ids = self._ids

@@ -1,0 +1,279 @@
+"""Cohort-batched local training: one stacked forward/backward per round.
+
+Every selected client shares one architecture, so a round's local SGD is M
+independent instances of the same small computation.  This module fuses them:
+the cohort's weights live in one ``(M, D)`` flat block (rows in
+:class:`~repro.nn.serialization.StateSchema` order, exactly the row layout of
+the sharded data plane), each parameter is an ``(M, *shape)`` zero-copy view
+into that block, and each Adam step trains all M clients in a single batched
+forward/backward over ``(M, B, ...)`` minibatches.
+
+Numerical contract (also in README "Cohort-batched training"):
+
+* Clients whose architecture uses only ``Linear`` / ``Flatten`` / elementwise
+  activations and the softmax cross-entropy loss (e.g. ``linear_probe``)
+  train **bit-identically** to the serial :func:`~repro.federated.client.
+  train_locally` path: broadcast ``np.matmul`` dispatches one 2-D GEMM per
+  leading slice with the same accumulation order as the serial call.
+* ``Conv2d`` / ``LocallyConnected2d`` architectures batch their einsum
+  contractions over the client axis, which may reassociate reductions —
+  per-client results agree with serial within **1e-6 relative tolerance**.
+* Per-client batch sampling is *exactly* the serial schedule: the same
+  ``rng_from_seed(stable_seed(seed, client_id, round))`` generator drawing
+  ``permutation(n)`` once per epoch.
+
+Clients with different local dataset sizes have different batch schedules, so
+the trainer groups the cohort by training-set size and runs one stacked pass
+per group; per-client results do not depend on the grouping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (
+    CohortAdam,
+    CohortAvgPool2d,
+    CohortConv2d,
+    CohortFlatten,
+    CohortLinear,
+    CohortLocallyConnected2d,
+    CohortMaxPool2d,
+    GradTape,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+)
+from ..nn import functional as F
+from ..nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    LocallyConnected2d,
+    MaxPool2d,
+)
+from ..nn.serialization import StateSchema
+from ..utils.rng import rng_from_seed, stable_seed
+from .client import ClientPopulation
+from .update import ModelUpdate
+
+__all__ = ["CohortBatchingError", "CohortTrainer", "build_cohort_model"]
+
+
+class CohortBatchingError(TypeError):
+    """The model architecture cannot be trained in cohort-batched mode."""
+
+
+#: template layer type -> builder(layer, params) for the batched twin.
+#: ``params`` is the (weight, bias) pair of block views, or ``None`` for
+#: parameterless layers.
+_STATELESS = (ReLU, Tanh, Sigmoid)
+
+
+def _cohort_layer(layer: Module, weight: Parameter | None, bias: Parameter | None) -> Module:
+    if isinstance(layer, Linear):
+        return CohortLinear(weight, bias)
+    if isinstance(layer, Conv2d):
+        return CohortConv2d(weight, bias, stride=layer.stride, padding=layer.padding)
+    if isinstance(layer, LocallyConnected2d):
+        return CohortLocallyConnected2d(weight, bias, stride=layer.stride)
+    if isinstance(layer, MaxPool2d):
+        return CohortMaxPool2d(layer.kernel_size)
+    if isinstance(layer, AvgPool2d):
+        return CohortAvgPool2d(layer.kernel_size)
+    if isinstance(layer, Flatten):
+        return CohortFlatten()
+    if isinstance(layer, _STATELESS):
+        return type(layer)()
+    if isinstance(layer, Dropout):
+        raise CohortBatchingError(
+            "Dropout draws from per-replica RNG state and is not supported in "
+            "cohort-batched mode; train with cohort_batching=False"
+        )
+    raise CohortBatchingError(
+        f"layer {type(layer).__name__} has no cohort-batched twin; "
+        "train with cohort_batching=False"
+    )
+
+
+def validate_cohort_template(template: Module) -> None:
+    """Raise :class:`CohortBatchingError` if ``template`` cannot be batched."""
+    if not isinstance(template, Sequential):
+        raise CohortBatchingError(
+            f"cohort batching requires a Sequential model, got {type(template).__name__}"
+        )
+    for layer in template:
+        _cohort_layer(layer, None, None)
+
+
+def build_cohort_model(template: Sequential, block: np.ndarray, schema: StateSchema) -> Module:
+    """The batched twin of ``template`` over an ``(M, D)`` flat weight block.
+
+    Every parameter of the returned model is a zero-copy ``(M, *shape)`` view
+    into ``block`` — training writes straight through, so after the local
+    loop row ``m`` of ``block`` *is* client ``m``'s refined flat state.
+    """
+    if not isinstance(template, Sequential):
+        raise CohortBatchingError(
+            f"cohort batching requires a Sequential model, got {type(template).__name__}"
+        )
+    m = block.shape[0]
+
+    def view_param(name: str) -> Parameter:
+        offset, size, shape = schema._index[name]
+        view = block[:, offset : offset + size].reshape((m,) + tuple(shape))
+        if not np.shares_memory(view, block):  # pragma: no cover - layout guard
+            raise CohortBatchingError(f"parameter {name!r} view does not alias the block")
+        return Parameter(view)
+
+    layers: list[Module] = []
+    for index, layer in enumerate(template):
+        weight = bias = None
+        if getattr(layer, "weight", None) is not None:
+            weight = view_param(f"layer{index}.weight")
+        if getattr(layer, "bias", None) is not None:
+            bias = view_param(f"layer{index}.bias")
+        layers.append(_cohort_layer(layer, weight, bias))
+    return Sequential(*layers)
+
+
+class CohortTrainer:
+    """Trains a round's cohort as stacked ``(M, ...)`` batched passes.
+
+    Drop-in companion to :func:`~repro.federated.client.train_rows_into`:
+    :meth:`train_rows` has the same slot/row contract (refined flat states
+    land in ``rows[slot]``, bookkeeping returned in input order), so both the
+    serial simulation path and the sharded plane's :class:`ShardWorker` can
+    route through it unchanged.
+    """
+
+    def __init__(self, population: ClientPopulation, schema: StateSchema) -> None:
+        self.population = population
+        self.schema = schema
+        self._model_fn = population.model_fn
+        self._config = population.local_config
+        self._seed = population.seed
+        #: architecture template (weights irrelevant — overwritten by the
+        #: broadcast block); built once, validated once.
+        self.template = self._model_fn(rng_from_seed(self._seed))
+        validate_cohort_template(self.template)
+
+    # ------------------------------------------------------------------
+    # Core batched loop
+    # ------------------------------------------------------------------
+    def _train_block(
+        self,
+        block: np.ndarray,
+        features: np.ndarray,
+        labels: np.ndarray,
+        rngs: list[np.random.Generator],
+    ) -> np.ndarray:
+        """Local-SGD the ``(M, D)`` block in place; return per-client losses.
+
+        ``features``/``labels`` are ``(M, n, ...)`` stacks; ``rngs`` the
+        per-client generators (same construction as the serial path).
+        """
+        m, n = labels.shape
+        config = self._config
+        model = build_cohort_model(self.template, block, self.schema)
+        optimizer = CohortAdam(model.parameters(), lr=config.learning_rate)
+        batch = config.batch_size
+        row_sel = np.arange(m)[:, None]
+        seed_grad = np.ones(m, dtype=np.float32)
+        last_losses = np.full(m, np.nan, dtype=np.float32)
+        tape = GradTape()
+        for _ in range(config.local_epochs):
+            # One permutation per client per epoch — the DataLoader schedule.
+            orders = np.stack([rng.permutation(n) for rng in rngs])
+            for start in range(0, n, batch):
+                idx = orders[:, start : start + batch]
+                xb = features[row_sel, idx]
+                yb = labels[row_sel, idx]
+                with tape:
+                    logits = model(Tensor(xb))
+                    loss = F.cohort_cross_entropy(logits, yb)
+                    optimizer.zero_grad()
+                    tape.backward(loss, seed_grad)
+                    optimizer.step()
+                tape.clear()
+                last_losses = loss.data
+        return last_losses
+
+    # ------------------------------------------------------------------
+    # Row-plane entry points
+    # ------------------------------------------------------------------
+    def train_rows(
+        self,
+        slot_client_pairs,
+        broadcast_state: dict,
+        round_index: int,
+        rows: np.ndarray,
+    ) -> list[tuple[int, int, float]]:
+        """Train a cohort slice, landing refined states in ``rows[slot]``.
+
+        Same contract as :func:`~repro.federated.client.train_rows_into`:
+        returns ``(client_id, num_samples, final_loss)`` in input order.
+        """
+        pairs = list(slot_client_pairs)
+        datasets = [self.population.get(client_id).data.train for _, client_id in pairs]
+        out: list[tuple[int, int, float] | None] = [None] * len(pairs)
+
+        # Stack clients with equal training-set size (identical batch
+        # schedules); grouping is by first appearance and does not affect
+        # per-client results.
+        groups: dict[int, list[int]] = {}
+        for position, dataset in enumerate(datasets):
+            groups.setdefault(len(dataset), []).append(position)
+
+        broadcast_row = self.schema.pack(broadcast_state)
+        seed = self._seed
+        for n, positions in groups.items():
+            if n == 0:
+                raise CohortBatchingError("cannot train a client with an empty dataset")
+            m = len(positions)
+            block = np.repeat(broadcast_row[None, :], m, axis=0)
+            features = np.stack([datasets[p].features for p in positions])
+            labels = np.stack([datasets[p].labels for p in positions])
+            rngs = [
+                rng_from_seed(stable_seed(seed, pairs[p][1], round_index)) for p in positions
+            ]
+            losses = self._train_block(block, features, labels, rngs)
+            for j, p in enumerate(positions):
+                slot, client_id = pairs[p]
+                rows[slot] = block[j]
+                out[p] = (client_id, n, float(losses[j]))
+        return out  # type: ignore[return-value]
+
+    def train_updates(
+        self, client_ids, broadcast_state: dict, round_index: int
+    ) -> list[ModelUpdate]:
+        """Train a cohort and return flat-backed updates in cohort order.
+
+        The non-sharded simulation entry point: each update's ``state`` holds
+        zero-copy views into its own row of one fresh ``(M, D)`` plane.
+        """
+        cohort = [int(c) for c in client_ids]
+        rows = np.empty((len(cohort), self.schema.total_size), dtype=np.float32)
+        metas = self.train_rows(
+            list(enumerate(cohort)), broadcast_state, round_index, rows
+        )
+        updates = []
+        for slot, (client_id, num_samples, final_loss) in enumerate(metas):
+            row = rows[slot]
+            updates.append(
+                ModelUpdate(
+                    sender_id=client_id,
+                    round_index=round_index,
+                    state=self.schema.views(row),
+                    num_samples=num_samples,
+                    metadata={"final_loss": final_loss},
+                    flat_vector=row,
+                )
+            )
+        return updates

@@ -73,6 +73,7 @@ from ..nn.serialization import StateSchema, _intern_schema, schema_of
 from ..utils.rng import stable_seed  # noqa: F401  (re-exported draw key space)
 from .aggregation import _check_krum_cohort, _krum_scores, _multi_krum_selection
 from .client import ClientPopulation, train_rows_into
+from .cohort import CohortTrainer
 from .flat import flat_mean, row_norms
 from .integrity import TranscriptError, _entry_hash, update_digest
 from .update import ModelUpdate
@@ -575,6 +576,7 @@ class ShardWorker:
         rows: np.ndarray,
         broadcast: np.ndarray | None,
         release_after_round: bool = False,
+        cohort_batching: bool = False,
     ) -> None:
         self.population = population
         self.schema = schema
@@ -583,6 +585,9 @@ class ShardWorker:
         #: the shared broadcast vector (``None`` inline: state passed directly)
         self.broadcast = broadcast
         self._release = release_after_round
+        #: cohort-batched trainer: the shard's slice trains as one stacked
+        #: pass instead of client-by-client (same row/meta contract)
+        self._trainer = CohortTrainer(population, schema) if cohort_batching else None
 
     def run(
         self,
@@ -600,14 +605,19 @@ class ShardWorker:
         if broadcast_state is None:
             broadcast_state = self.schema.views(self.broadcast)
         start = time.perf_counter()
-        metas = train_rows_into(
-            self.population,
-            slot_client_pairs,
-            broadcast_state,
-            round_index,
-            self.schema,
-            self.rows,
-        )
+        if self._trainer is not None:
+            metas = self._trainer.train_rows(
+                slot_client_pairs, broadcast_state, round_index, self.rows
+            )
+        else:
+            metas = train_rows_into(
+                self.population,
+                slot_client_pairs,
+                broadcast_state,
+                round_index,
+                self.schema,
+                self.rows,
+            )
         trained = time.perf_counter()
         slots = [slot for slot, _ in slot_client_pairs]
         partial = shard_partial_sum(self.rows[slots[0] : slots[-1] + 1])
@@ -648,6 +658,7 @@ def _worker_init(
     rows_name: str,
     capacity: int,
     broadcast_name: str,
+    cohort_batching: bool = False,
 ) -> None:
     """Spawn-pool initializer: rebuild the leaf runtime from picklable parts."""
     global _WORKER
@@ -657,7 +668,10 @@ def _worker_init(
     rows = np.ndarray((capacity, schema.total_size), dtype=np.float32, buffer=rows_segment.buf)
     broadcast = np.ndarray((schema.total_size,), dtype=np.float32, buffer=broadcast_segment.buf)
     population = ClientPopulation.for_dataset(dataset, model_fn, local_config, seed=seed)
-    worker = ShardWorker(population, schema, rows, broadcast, release_after_round=True)
+    worker = ShardWorker(
+        population, schema, rows, broadcast,
+        release_after_round=True, cohort_batching=cohort_batching,
+    )
     # keep the segments alive for the worker's lifetime
     worker._segments = [rows_segment, broadcast_segment]
     _WORKER = worker
@@ -724,6 +738,7 @@ class ShardedRoundEngine:
         model_fn=None,
         local_config=None,
         capacity: int | None = None,
+        cohort_batching: bool = False,
     ) -> None:
         if num_shards < 1:
             raise ShardPlanError(f"num_shards must be >= 1, got {num_shards}")
@@ -747,6 +762,7 @@ class ShardedRoundEngine:
         self._model_fn = model_fn
         self._local_config = local_config
         self._capacity_hint = int(capacity) if capacity else 0
+        self.cohort_batching = bool(cohort_batching)
         #: hierarchical transcript of the data plane (one chain per shard)
         self.transcript = ShardedTranscript()
         #: the most recent round's plan (checkpoint round-trips it)
@@ -817,6 +833,7 @@ class ShardedRoundEngine:
                 rows_segment.name,
                 capacity,
                 broadcast_segment.name,
+                self.cohort_batching,
             ),
         )
         rows = np.ndarray((capacity, total), dtype=np.float32, buffer=rows_segment.buf)
@@ -922,7 +939,8 @@ class ShardedRoundEngine:
                 # inline backend, or a failed-over slice the root adopts
                 if inline_worker is None:
                     inline_worker = ShardWorker(
-                        self.population, self.schema, shared_rows, None
+                        self.population, self.schema, shared_rows, None,
+                        cohort_batching=self.cohort_batching,
                     )
                 _, metas, partial, train_s, reduce_s = inline_worker.run(
                     shard, pairs_of[shard], round_index, broadcast_state=broadcast_state

@@ -11,6 +11,12 @@ from . import functional
 from .init import glorot_uniform, he_normal, he_uniform, normal, zeros
 from .layers import (
     AvgPool2d,
+    CohortAvgPool2d,
+    CohortConv2d,
+    CohortFlatten,
+    CohortLinear,
+    CohortLocallyConnected2d,
+    CohortMaxPool2d,
     Conv2d,
     Dropout,
     Flatten,
@@ -23,7 +29,7 @@ from .layers import (
 )
 from .loss import BCEWithLogitsLoss, CrossEntropyLoss, MSELoss
 from .module import Module, Parameter, Sequential
-from .optim import SGD, Adam, Optimizer
+from .optim import SGD, Adam, CohortAdam, Optimizer
 from .serialization import (
     StateSpec,
     flatten,
@@ -35,10 +41,11 @@ from .serialization import (
     unflatten,
 )
 from .utils import clip_grad_norm_, freeze, global_grad_norm, unfreeze
-from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+from .tensor import GradTape, Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
 
 __all__ = [
     "Tensor",
+    "GradTape",
     "as_tensor",
     "concatenate",
     "stack",
@@ -58,12 +65,19 @@ __all__ = [
     "Tanh",
     "Sigmoid",
     "Dropout",
+    "CohortLinear",
+    "CohortConv2d",
+    "CohortLocallyConnected2d",
+    "CohortMaxPool2d",
+    "CohortAvgPool2d",
+    "CohortFlatten",
     "CrossEntropyLoss",
     "MSELoss",
     "BCEWithLogitsLoss",
     "Optimizer",
     "SGD",
     "Adam",
+    "CohortAdam",
     "StateSpec",
     "spec_of",
     "flatten",

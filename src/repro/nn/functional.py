@@ -36,6 +36,12 @@ __all__ = [
     "mse_loss",
     "dropout",
     "one_hot",
+    "cohort_linear",
+    "cohort_conv2d",
+    "cohort_max_pool2d",
+    "cohort_avg_pool2d",
+    "cohort_locally_connected2d",
+    "cohort_cross_entropy",
 ]
 
 
@@ -124,6 +130,8 @@ def conv2d(
         out_data = out_data + bias.data.reshape(1, o, 1, 1)
 
     parents = [x, weight] + ([bias] if bias is not None else [])
+    if not (is_grad_enabled() and any(p.requires_grad for p in parents)):
+        return Tensor._lean(out_data, "conv2d")
 
     def backward(grad: np.ndarray) -> None:
         grad_flat = grad.reshape(n, o, oh * ow)
@@ -153,6 +161,8 @@ def max_pool2d(x: Tensor, kernel: int) -> Tensor:
     oh, ow = h // kernel, w // kernel
     blocks = x.data.reshape(n, c, oh, kernel, ow, kernel)
     out_data = blocks.max(axis=(3, 5))
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor._lean(out_data, "max_pool2d")
     mask = blocks == out_data[:, :, :, None, :, None]
     # Break ties deterministically: scale by inverse tie-count.
     counts = mask.sum(axis=(3, 5), keepdims=True)
@@ -174,6 +184,8 @@ def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
     oh, ow = h // kernel, w // kernel
     blocks = x.data.reshape(n, c, oh, kernel, ow, kernel)
     out_data = blocks.mean(axis=(3, 5))
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor._lean(out_data, "avg_pool2d")
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
@@ -220,6 +232,8 @@ def locally_connected2d(
         out_data = out_data + bias.data[None]
 
     parents = [x, weight] + ([bias] if bias is not None else [])
+    if not (is_grad_enabled() and any(p.requires_grad for p in parents)):
+        return Tensor._lean(out_data, "locally_connected2d")
 
     def backward(grad: np.ndarray) -> None:
         if weight.requires_grad:
@@ -288,3 +302,205 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = T
     keep = 1.0 - rate
     mask = (rng.random(x.shape) < keep).astype(np.float32) / keep
     return x * Tensor(mask)
+
+
+# ----------------------------------------------------------------------
+# Cohort-batched kernels
+# ----------------------------------------------------------------------
+# These operate on a leading client axis ``M``: M clients' independent
+# forward/backward passes fused into single batched numpy calls.  Inputs
+# carry shapes ``(M, B, ...)`` and parameters ``(M, ...)`` — row ``m`` of
+# every array belongs to client ``m`` and never mixes with other rows.
+#
+# Numerical contract (see README "Cohort-batched training"):
+# * ``cohort_linear`` uses broadcast ``np.matmul``, which numpy evaluates
+#   as one 2-D GEMM per leading slice — per-client results are
+#   bit-identical to the serial ``linear`` path.
+# * ``cohort_cross_entropy`` composes the same generic tensor ops as the
+#   serial loss along the last axis — also bit-identical per client.
+# * ``cohort_conv2d`` / ``cohort_locally_connected2d`` batch their
+#   einsum contractions over ``M``, which may reassociate the reduction —
+#   per-client results agree with serial within 1e-6 relative tolerance.
+
+
+def cohort_linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Batched affine map over a leading client axis.
+
+    ``x`` has shape ``(M, B, in)``, ``weight`` ``(M, out, in)`` and ``bias``
+    ``(M, out)``.  Each client slice computes ``x[m] @ weight[m].T + bias[m]``
+    bit-identically to the serial :func:`linear`.
+    """
+    x = as_tensor(x)
+    out_data = np.matmul(x.data, np.swapaxes(weight.data, -1, -2))
+    if bias is not None:
+        out_data = out_data + bias.data[:, None, :]
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+    if not (is_grad_enabled() and any(p.requires_grad for p in parents)):
+        return Tensor._lean(out_data, "cohort_linear")
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            # Mirror the serial (x @ W.T) decomposition: d(W.T) then transpose,
+            # so the per-slice GEMM arguments — and hence bits — match exactly.
+            dwt = np.matmul(np.swapaxes(x.data, -1, -2), grad)
+            weight._accumulate(np.swapaxes(dwt, -1, -2))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=1))
+        if x.requires_grad:
+            x._accumulate(np.matmul(grad, weight.data))
+
+    return Tensor._record(out_data, tuple(parents), backward, "cohort_linear")
+
+
+def cohort_conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """Batched 2-D convolution: ``(M, N, C, H, W)`` input, ``(M, O, C, KH, KW)``
+    weights, ``(M, O)`` bias — one einsum for the whole cohort."""
+    x = as_tensor(x)
+    xd = x.data
+    p = int(padding)
+    if p:
+        xd = np.pad(xd, ((0, 0), (0, 0), (0, 0), (p, p), (p, p)))
+    m, n, c, h, w = xd.shape
+    m_w, o, c_w, kh, kw = weight.shape
+    if c != c_w:
+        raise ValueError(f"channel mismatch: input has {c}, weight expects {c_w}")
+    cols = im2col(xd.reshape(m * n, c, h, w), (kh, kw), stride)
+    _, k, oh, ow = cols.shape
+    flat_cols = cols.reshape(m, n, k, oh * ow)
+    w_flat = weight.data.reshape(m, o, k)
+    out_data = np.einsum("mok,mnkp->mnop", w_flat, flat_cols, optimize=True).reshape(m, n, o, oh, ow)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(m, 1, o, 1, 1)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+    if not (is_grad_enabled() and any(p_.requires_grad for p_ in parents)):
+        return Tensor._lean(out_data, "cohort_conv2d")
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(m, n, o, oh * ow)
+        if weight.requires_grad:
+            dw = np.einsum("mnop,mnkp->mok", grad_flat, flat_cols, optimize=True)
+            weight._accumulate(dw.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(1, 3, 4)))
+        if x.requires_grad:
+            dcols = np.einsum("mok,mnop->mnkp", w_flat, grad_flat, optimize=True)
+            dx = col2im(dcols.reshape(m * n, k, oh, ow), (m * n, c, h, w), (kh, kw), stride)
+            dx = dx.reshape(m, n, c, h, w)
+            if p:
+                dx = dx[:, :, :, p:-p, p:-p]
+            x._accumulate(dx)
+
+    return Tensor._record(out_data, tuple(parents), backward, "cohort_conv2d")
+
+
+def cohort_max_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Batched non-overlapping max pooling over ``(M, N, C, H, W)`` input."""
+    x = as_tensor(x)
+    m, n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by pool kernel {kernel}")
+    oh, ow = h // kernel, w // kernel
+    blocks = x.data.reshape(m, n, c, oh, kernel, ow, kernel)
+    out_data = blocks.max(axis=(4, 6))
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor._lean(out_data, "cohort_max_pool2d")
+    mask = blocks == out_data[:, :, :, :, None, :, None]
+    counts = mask.sum(axis=(4, 6), keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad[:, :, :, :, None, :, None] * mask / counts
+        x._accumulate(g.reshape(m, n, c, h, w))
+
+    return Tensor._record(out_data, (x,), backward, "cohort_max_pool2d")
+
+
+def cohort_avg_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Batched non-overlapping average pooling over ``(M, N, C, H, W)`` input."""
+    x = as_tensor(x)
+    m, n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by pool kernel {kernel}")
+    oh, ow = h // kernel, w // kernel
+    blocks = x.data.reshape(m, n, c, oh, kernel, ow, kernel)
+    out_data = blocks.mean(axis=(4, 6))
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor._lean(out_data, "cohort_avg_pool2d")
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.broadcast_to(
+            grad[:, :, :, :, None, :, None] / (kernel * kernel),
+            (m, n, c, oh, kernel, ow, kernel),
+        )
+        x._accumulate(g.reshape(m, n, c, h, w).copy())
+
+    return Tensor._record(out_data, (x,), backward, "cohort_avg_pool2d")
+
+
+def cohort_locally_connected2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+) -> Tensor:
+    """Batched locally connected layer: ``(M, O, OH, OW, C*KH*KW)`` weights,
+    ``(M, O, OH, OW)`` bias over an ``(M, N, C, H, W)`` input."""
+    x = as_tensor(x)
+    m, n, c, h, w = x.shape
+    m_w, o, oh, ow, k = weight.shape
+    khw = k // c
+    kh = int(round(khw**0.5))
+    kw = khw // kh
+    if c * kh * kw != k:
+        raise ValueError(f"weight patch size {k} incompatible with {c} input channels")
+    expected_oh = (h - kh) // stride + 1
+    expected_ow = (w - kw) // stride + 1
+    if (oh, ow) != (expected_oh, expected_ow):
+        raise ValueError(
+            f"weight spatial shape {(oh, ow)} does not match computed output {(expected_oh, expected_ow)}"
+        )
+    cols = im2col(x.data.reshape(m * n, c, h, w), (kh, kw), stride).reshape(m, n, k, oh, ow)
+    out_data = np.einsum("moyxk,mnkyx->mnoyx", weight.data, cols, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data[:, None]
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+    if not (is_grad_enabled() and any(p.requires_grad for p in parents)):
+        return Tensor._lean(out_data, "cohort_locally_connected2d")
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            dw = np.einsum("mnoyx,mnkyx->moyxk", grad, cols, optimize=True)
+            weight._accumulate(dw)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=1))
+        if x.requires_grad:
+            dcols = np.einsum("moyxk,mnoyx->mnkyx", weight.data, grad, optimize=True)
+            dx = col2im(dcols.reshape(m * n, k, oh, ow), (m * n, c, h, w), (kh, kw), stride)
+            x._accumulate(dx.reshape(m, n, c, h, w))
+
+    return Tensor._record(out_data, tuple(parents), backward, "cohort_locally_connected2d")
+
+
+def cohort_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Per-client softmax cross-entropy over a leading client axis.
+
+    ``logits`` has shape ``(M, B, K)`` and ``labels`` ``(M, B)``; returns the
+    ``(M,)`` vector of per-client mean losses.  Composed from the same generic
+    tensor ops as the serial :func:`cross_entropy` along the last axis, so
+    each client's loss — and its backward — is bit-identical to the serial
+    path.  Clients are independent, so seeding backward with ``ones(M)``
+    yields exactly each client's own gradient in its parameter rows.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    m, b = labels.shape
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(m)[:, None], np.arange(b)[None, :], labels]
+    return -picked.mean(axis=-1)

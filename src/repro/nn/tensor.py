@@ -16,36 +16,124 @@ Design notes
   gradients (summing over broadcast axes, like every major framework).
 * Gradient tracking can be suspended with the :func:`no_grad` context manager,
   used by evaluation loops and by the attack code when it only needs forward
-  passes.
+  passes.  The flag is **thread-local**: a ``no_grad`` evaluation on one
+  thread cannot disable recording for a training step in flight on another
+  (the simulation trains cohorts in a thread pool).
+* When gradients are off (or no input requires them), ops skip the backward
+  closure and parent bookkeeping entirely and return a bare output tensor
+  through :meth:`Tensor._lean` — the hot path for evaluation and attack
+  forward passes.
+* :class:`GradTape` is the lean recording mode behind cohort-batched
+  training: ops append themselves to a flat tape in execution order, and
+  :meth:`GradTape.backward` walks the tape once in reverse — no visited-set
+  topological sort, and intermediate gradient buffers are dropped as soon as
+  their closure has fired.  Reverse execution order is a valid topological
+  order because every consumer of a tensor is recorded after it.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor", "concatenate", "stack"]
+__all__ = [
+    "Tensor",
+    "GradTape",
+    "no_grad",
+    "is_grad_enabled",
+    "as_tensor",
+    "concatenate",
+    "stack",
+]
 
-_GRAD_ENABLED = True
+
+class _EngineState(threading.local):
+    """Per-thread autograd state: the grad switch and the active tape."""
+
+    def __init__(self) -> None:
+        self.grad_enabled = True
+        self.tape: list[Tensor] | None = None
+
+
+_STATE = _EngineState()
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling gradient graph construction."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager disabling gradient graph construction.
+
+    Thread-local: only the calling thread stops recording, so concurrent
+    training threads are unaffected.
+    """
+    previous = _STATE.grad_enabled
+    _STATE.grad_enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _STATE.grad_enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record gradients."""
-    return _GRAD_ENABLED
+    """Return whether operations on this thread currently record gradients."""
+    return _STATE.grad_enabled
+
+
+class GradTape:
+    """Lean autograd mode: a flat op tape walked once backward.
+
+    Entering the tape makes every recorded op append its output tensor to
+    ``self.nodes`` (in execution order) on the current thread.  The graph
+    structure is still captured by the backward closures, so
+    :meth:`Tensor.backward` keeps working on tensors built under a tape;
+    :meth:`backward` here is the cheap path — a single reverse walk with
+    in-place gradient accumulation and eager intermediate-buffer release.
+    """
+
+    __slots__ = ("nodes", "_previous")
+
+    def __init__(self) -> None:
+        self.nodes: list[Tensor] = []
+        self._previous: list[Tensor] | None = None
+
+    def __enter__(self) -> "GradTape":
+        self._previous = _STATE.tape
+        _STATE.tape = self.nodes
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _STATE.tape = self._previous
+        self._previous = None
+
+    def backward(self, output: "Tensor", grad: np.ndarray | None = None) -> None:
+        """Backpropagate from ``output`` through the recorded tape.
+
+        ``output`` must have been recorded on this tape.  Non-scalar outputs
+        need an explicit seed ``grad`` (e.g. ones over a per-client loss
+        vector).  Intermediate gradients are freed as soon as consumed; leaf
+        gradients (parameters) are left accumulated for the optimizer.
+        """
+        if not output.requires_grad:
+            raise RuntimeError("backward() called on a tensor without grad tracking")
+        if grad is None:
+            if output.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(output.data)
+        output._accumulate(np.asarray(grad, dtype=np.float32))
+        for node in reversed(self.nodes):
+            node_grad = node.grad
+            if node_grad is not None:
+                if node._backward is not None:
+                    node._backward(node_grad)
+                # Every tape entry is op-created (leaves are never recorded),
+                # so its buffer is dead once its closure fired.
+                node.grad = None
+
+    def clear(self) -> None:
+        """Forget the recorded ops (reuse the tape across steps)."""
+        self.nodes.clear()
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -80,7 +168,7 @@ class Tensor:
             data = data.data
         self.data = np.asarray(data, dtype=np.float32)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _STATE.grad_enabled
         self._backward = backward
         self._parents: tuple[Tensor, ...] = tuple(parents) if self.requires_grad else ()
         self.op = op
@@ -151,29 +239,64 @@ class Tensor:
             grad = np.ones_like(self.data)
         self._accumulate(np.asarray(grad, dtype=np.float32))
 
+        # Iterative post-order DFS with an explicit parent iterator per
+        # frame: each node enters the stack exactly once (marked at
+        # discovery), so fan-out can no longer inflate the stack with
+        # duplicate entries — it stays O(live nodes), not O(edges).
         ordered: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        visited: set[int] = {id(self)}
+        stack: list[tuple[Tensor, Iterable[Tensor]]] = [(self, iter(self._parents))]
         while stack:
-            node, processed = stack.pop()
-            if processed:
-                ordered.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
+            node, parents = stack[-1]
+            for parent in parents:
                 if parent.requires_grad and id(parent) not in visited:
-                    stack.append((parent, False))
+                    visited.add(id(parent))
+                    stack.append((parent, iter(parent._parents)))
+                    break
+            else:
+                ordered.append(node)
+                stack.pop()
 
         for node in reversed(ordered):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
 
     # ------------------------------------------------------------------
-    # Operator construction helper
+    # Operator construction helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _lean(data, op: str) -> "Tensor":
+        """Bare output tensor: no grad, no parents, no closure retained."""
+        out = object.__new__(Tensor)
+        out.data = np.asarray(data, dtype=np.float32)
+        out.grad = None
+        out.requires_grad = False
+        out._backward = None
+        out._parents = ()
+        out.op = op
+        return out
+
+    @staticmethod
+    def _record(
+        data,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        """Build a grad-tracking output node; callers guarantee grad is
+        enabled and at least one parent requires it."""
+        out = object.__new__(Tensor)
+        out.data = np.asarray(data, dtype=np.float32)
+        out.grad = None
+        out.requires_grad = True
+        out._backward = backward
+        out._parents = parents
+        out.op = op
+        tape = _STATE.tape
+        if tape is not None:
+            tape.append(out)
+        return out
+
     @staticmethod
     def _make(
         data: np.ndarray,
@@ -181,10 +304,12 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
         op: str,
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        if not requires:
-            return Tensor(data, op=op)
-        return Tensor(data, requires_grad=True, parents=[p for p in parents if p.requires_grad], backward=backward, op=op)
+        """Compatibility builder for ops that precompute their closure."""
+        if _STATE.grad_enabled:
+            for p in parents:
+                if p.requires_grad:
+                    return Tensor._record(data, tuple(parents), backward, op)
+        return Tensor._lean(data, op)
 
     # ------------------------------------------------------------------
     # Arithmetic
@@ -192,6 +317,8 @@ class Tensor:
     def __add__(self, other) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data + other.data
+        if not (_STATE.grad_enabled and (self.requires_grad or other.requires_grad)):
+            return Tensor._lean(out_data, "add")
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -199,16 +326,19 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward, "add")
+        return Tensor._record(out_data, (self, other), backward, "add")
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        if not (_STATE.grad_enabled and self.requires_grad):
+            return Tensor._lean(-self.data, "neg")
+
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(-grad)
 
-        return Tensor._make(-self.data, (self,), backward, "neg")
+        return Tensor._record(-self.data, (self,), backward, "neg")
 
     def __sub__(self, other) -> "Tensor":
         return self + (-as_tensor(other))
@@ -219,6 +349,8 @@ class Tensor:
     def __mul__(self, other) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data * other.data
+        if not (_STATE.grad_enabled and (self.requires_grad or other.requires_grad)):
+            return Tensor._lean(out_data, "mul")
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -226,13 +358,15 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad * self.data, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward, "mul")
+        return Tensor._record(out_data, (self, other), backward, "mul")
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data / other.data
+        if not (_STATE.grad_enabled and (self.requires_grad or other.requires_grad)):
+            return Tensor._lean(out_data, "div")
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -240,7 +374,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(-grad * self.data / (other.data**2), other.shape))
 
-        return Tensor._make(out_data, (self, other), backward, "div")
+        return Tensor._record(out_data, (self, other), backward, "div")
 
     def __rtruediv__(self, other) -> "Tensor":
         return as_tensor(other) / self
@@ -249,16 +383,20 @@ class Tensor:
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
         out_data = self.data**exponent
+        if not (_STATE.grad_enabled and self.requires_grad):
+            return Tensor._lean(out_data, "pow")
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), backward, "pow")
+        return Tensor._record(out_data, (self,), backward, "pow")
 
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data @ other.data
+        if not (_STATE.grad_enabled and (self.requires_grad or other.requires_grad)):
+            return Tensor._lean(out_data, "matmul")
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -274,80 +412,100 @@ class Tensor:
                     g = np.swapaxes(self.data, -1, -2) @ grad
                     other._accumulate(_unbroadcast(g, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward, "matmul")
+        return Tensor._record(out_data, (self, other), backward, "matmul")
 
     # ------------------------------------------------------------------
     # Elementwise nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
+        if not (_STATE.grad_enabled and self.requires_grad):
+            return Tensor._lean(out_data, "exp")
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward, "exp")
+        return Tensor._record(out_data, (self,), backward, "exp")
 
     def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+        if not (_STATE.grad_enabled and self.requires_grad):
+            return Tensor._lean(out_data, "log")
+
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad / self.data)
 
-        return Tensor._make(np.log(self.data), (self,), backward, "log")
+        return Tensor._record(out_data, (self,), backward, "log")
 
     def sqrt(self) -> "Tensor":
         return self**0.5
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
+        if not (_STATE.grad_enabled and self.requires_grad):
+            return Tensor._lean(self.data * mask, "relu")
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
-        return Tensor._make(self.data * mask, (self,), backward, "relu")
+        return Tensor._record(self.data * mask, (self,), backward, "relu")
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
+        if not (_STATE.grad_enabled and self.requires_grad):
+            return Tensor._lean(out_data, "tanh")
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * (1.0 - out_data**2))
 
-        return Tensor._make(out_data, (self,), backward, "tanh")
+        return Tensor._record(out_data, (self,), backward, "tanh")
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
+        if not (_STATE.grad_enabled and self.requires_grad):
+            return Tensor._lean(out_data, "sigmoid")
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), backward, "sigmoid")
+        return Tensor._record(out_data, (self,), backward, "sigmoid")
 
     def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        if not (_STATE.grad_enabled and self.requires_grad):
+            return Tensor._lean(out_data, "clip")
         mask = (self.data >= low) & (self.data <= high)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
-        return Tensor._make(np.clip(self.data, low, high), (self,), backward, "clip")
+        return Tensor._record(out_data, (self,), backward, "clip")
 
     def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+        if not (_STATE.grad_enabled and self.requires_grad):
+            return Tensor._lean(out_data, "abs")
         sign = np.sign(self.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * sign)
 
-        return Tensor._make(np.abs(self.data), (self,), backward, "abs")
+        return Tensor._record(out_data, (self,), backward, "abs")
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not (_STATE.grad_enabled and self.requires_grad):
+            return Tensor._lean(out_data, "sum")
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
@@ -360,7 +518,7 @@ class Tensor:
                     g = np.expand_dims(g, a)
             self._accumulate(np.broadcast_to(g, self.shape).copy())
 
-        return Tensor._make(out_data, (self,), backward, "sum")
+        return Tensor._record(out_data, (self,), backward, "sum")
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -372,6 +530,8 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not (_STATE.grad_enabled and self.requires_grad):
+            return Tensor._lean(out_data, "max")
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
@@ -388,7 +548,7 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate(mask * g / counts)
 
-        return Tensor._make(out_data, (self,), backward, "max")
+        return Tensor._record(out_data, (self,), backward, "max")
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
         centered = self - self.mean(axis=axis, keepdims=True)
@@ -401,13 +561,15 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
+        if not (_STATE.grad_enabled and self.requires_grad):
+            return Tensor._lean(out_data, "reshape")
         original = self.shape
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad.reshape(original))
 
-        return Tensor._make(out_data, (self,), backward, "reshape")
+        return Tensor._record(out_data, (self,), backward, "reshape")
 
     def flatten_batch(self) -> "Tensor":
         """Flatten all but the leading (batch) dimension."""
@@ -418,14 +580,16 @@ class Tensor:
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
-        inverse = tuple(np.argsort(axes))
         out_data = self.data.transpose(axes)
+        if not (_STATE.grad_enabled and self.requires_grad):
+            return Tensor._lean(out_data, "transpose")
+        inverse = tuple(np.argsort(axes))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(out_data, (self,), backward, "transpose")
+        return Tensor._record(out_data, (self,), backward, "transpose")
 
     @property
     def T(self) -> "Tensor":
@@ -433,6 +597,8 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        if not (_STATE.grad_enabled and self.requires_grad):
+            return Tensor._lean(out_data, "getitem")
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -440,7 +606,7 @@ class Tensor:
                 np.add.at(full, index, grad)
                 self._accumulate(full)
 
-        return Tensor._make(out_data, (self,), backward, "getitem")
+        return Tensor._record(out_data, (self,), backward, "getitem")
 
     def pad2d(self, padding: int) -> "Tensor":
         """Zero-pad the two trailing spatial dimensions of an NCHW tensor."""
@@ -448,12 +614,14 @@ class Tensor:
             return self
         p = int(padding)
         out_data = np.pad(self.data, ((0, 0), (0, 0), (p, p), (p, p)))
+        if not (_STATE.grad_enabled and self.requires_grad):
+            return Tensor._lean(out_data, "pad2d")
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad[:, :, p:-p, p:-p])
 
-        return Tensor._make(out_data, (self,), backward, "pad2d")
+        return Tensor._record(out_data, (self,), backward, "pad2d")
 
 
 def as_tensor(value) -> Tensor:
@@ -467,6 +635,8 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not (_STATE.grad_enabled and any(t.requires_grad for t in tensors)):
+        return Tensor._lean(out_data, "concatenate")
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -477,13 +647,15 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
                 slicer[axis] = slice(int(start), int(stop))
                 tensor._accumulate(grad[tuple(slicer)])
 
-    return Tensor._make(out_data, tensors, backward, "concatenate")
+    return Tensor._record(out_data, tuple(tensors), backward, "concatenate")
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
     out_data = np.stack([t.data for t in tensors], axis=axis)
+    if not (_STATE.grad_enabled and any(t.requires_grad for t in tensors)):
+        return Tensor._lean(out_data, "stack")
 
     def backward(grad: np.ndarray) -> None:
         slices = np.split(grad, len(tensors), axis=axis)
@@ -491,4 +663,4 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             if tensor.requires_grad:
                 tensor._accumulate(np.squeeze(piece, axis=axis))
 
-    return Tensor._make(out_data, tensors, backward, "stack")
+    return Tensor._record(out_data, tuple(tensors), backward, "stack")

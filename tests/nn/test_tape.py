@@ -1,0 +1,241 @@
+"""Autograd engine internals: topo-sort dedupe, lean mode, GradTape, threading.
+
+Marked ``cohort`` together with the federated cohort-training tests — these
+cover the engine changes that make cohort batching cheap::
+
+    PYTHONPATH=src python -m pytest -m cohort -q
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.nn import GradTape, Tensor, is_grad_enabled, no_grad
+from repro.nn import functional as F
+
+pytestmark = pytest.mark.cohort
+
+
+def _count_firings(root: Tensor) -> dict[int, int]:
+    """Wrap every reachable backward closure with a firing counter."""
+    counts: dict[int, int] = {}
+    seen = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if node._backward is not None:
+            counts[id(node)] = 0
+            original = node._backward
+
+            def wrapped(grad, _original=original, _key=id(node)):
+                counts[_key] += 1
+                _original(grad)
+
+            node._backward = wrapped
+        stack.extend(node._parents)
+    return counts
+
+
+class TestBackwardTopoSort:
+    def test_diamond_fires_each_closure_exactly_once(self):
+        a = Tensor([2.0], requires_grad=True)
+        left = a * 3.0
+        right = a * 5.0
+        out = (left + right).sum()
+        counts = _count_firings(out)
+        out.backward()
+        assert all(count == 1 for count in counts.values())
+        np.testing.assert_allclose(a.grad, [8.0])
+
+    def test_dependent_parents_ordering(self):
+        # out's parents are (c, b) with b itself a child of c: a correct
+        # topological order must fire b before c so c's gradient is complete.
+        a = Tensor([1.0], requires_grad=True)
+        c = a * 2.0
+        b = c * 3.0
+        out = (c + b).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [8.0])  # 2 + 2*3
+
+    def test_deep_fanout_chain_terminates_with_correct_grad(self):
+        # 60 levels of y = y*0.5 + y*0.5: every node has two consumers.  The
+        # deduped DFS visits each node once (stack stays O(nodes), not
+        # O(edges)) and the chain's gradient telescopes to exactly 1.
+        a = Tensor([1.0], requires_grad=True)
+        y = a
+        for _ in range(60):
+            y = y * 0.5 + y * 0.5
+        y.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_wide_fanout_grad(self):
+        a = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        out = sum((a * float(i) for i in range(1, 9)), a * 0.0).sum()
+        counts = _count_firings(out)
+        out.backward()
+        assert all(count == 1 for count in counts.values())
+        np.testing.assert_allclose(a.grad, np.full(4, 36.0))
+
+
+class TestLeanMode:
+    def test_no_grad_outputs_carry_no_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with no_grad():
+            out = (a * 2.0 + 1.0).exp().sum()
+        assert not out.requires_grad
+        assert out._backward is None
+        assert out._parents == ()
+
+    def test_untracked_inputs_skip_graph_construction(self):
+        a = Tensor([1.0, 2.0])
+        out = a * 3.0
+        assert not out.requires_grad
+        assert out._backward is None and out._parents == ()
+
+    def test_make_compat_lean_and_tracked(self):
+        tracked = Tensor([1.0], requires_grad=True)
+        fired = []
+        out = Tensor._make(np.ones(1), (tracked,), lambda g: fired.append(g), "custom")
+        assert out.requires_grad
+        out.backward(np.ones(1, dtype=np.float32))
+        assert fired
+        lean = Tensor._make(np.ones(1), (Tensor([1.0]),), lambda g: None, "custom")
+        assert not lean.requires_grad and lean._backward is None
+
+
+class TestGradTape:
+    def test_tape_matches_graph_backward(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((5, 3)).astype(np.float32)
+        labels = rng.integers(0, 4, 5)
+        w_graph = Tensor(rng.standard_normal((4, 3)).astype(np.float32), requires_grad=True)
+        b_graph = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        w_tape = Tensor(w_graph.data.copy(), requires_grad=True)
+        b_tape = Tensor(b_graph.data.copy(), requires_grad=True)
+
+        loss = F.cross_entropy(F.linear(Tensor(x), w_graph, b_graph), labels)
+        loss.backward()
+
+        with GradTape() as tape:
+            loss_t = F.cross_entropy(F.linear(Tensor(x), w_tape, b_tape), labels)
+        tape.backward(loss_t)
+
+        np.testing.assert_array_equal(w_graph.grad, w_tape.grad)
+        np.testing.assert_array_equal(b_graph.grad, b_tape.grad)
+
+    def test_tape_records_only_inside_context(self):
+        w = Tensor([1.0], requires_grad=True)
+        _ = w * 2.0
+        tape = GradTape()
+        with tape:
+            inside = w * 3.0
+        _ = w * 4.0
+        assert tape.nodes == [inside]
+
+    def test_tape_clears_intermediate_grads_keeps_leaves(self):
+        w = Tensor([2.0], requires_grad=True)
+        with GradTape() as tape:
+            mid = w * 3.0
+            out = mid.sum()
+        tape.backward(out)
+        assert mid.grad is None and out.grad is None
+        np.testing.assert_allclose(w.grad, [3.0])
+
+    def test_tape_reuse_after_clear(self):
+        w = Tensor([1.0], requires_grad=True)
+        tape = GradTape()
+        for _ in range(3):
+            with tape:
+                out = (w * 2.0).sum()
+            tape.backward(out)
+            tape.clear()
+        np.testing.assert_allclose(w.grad, [6.0])  # 3 accumulated steps
+
+    def test_nested_tapes_restore_previous(self):
+        w = Tensor([1.0], requires_grad=True)
+        outer = GradTape()
+        with outer:
+            _ = w * 2.0
+            with GradTape() as inner:
+                _ = w * 3.0
+            after = w * 4.0
+        assert len(inner.nodes) == 1
+        assert len(outer.nodes) == 2 and outer.nodes[-1] is after
+
+    def test_tape_requires_seed_for_vector_output(self):
+        w = Tensor([1.0, 2.0], requires_grad=True)
+        with GradTape() as tape:
+            out = w * 2.0
+        with pytest.raises(RuntimeError, match="non-scalar"):
+            tape.backward(out)
+        tape.backward(out, np.ones(2, dtype=np.float32))
+        np.testing.assert_allclose(w.grad, [2.0, 2.0])
+
+
+class TestThreadLocalGrad:
+    def test_no_grad_is_thread_local(self):
+        # One thread sits inside no_grad() while the other must keep
+        # recording: the module-global flag this replaces failed exactly here.
+        in_no_grad = threading.Event()
+        release = threading.Event()
+        results = {}
+
+        def eval_thread():
+            with no_grad():
+                in_no_grad.set()
+                release.wait(timeout=10)
+                results["eval_enabled"] = is_grad_enabled()
+
+        def train_thread():
+            in_no_grad.wait(timeout=10)
+            w = Tensor([1.0], requires_grad=True)
+            out = (w * 2.0).sum()
+            results["train_requires_grad"] = out.requires_grad
+            out.backward()
+            results["train_grad"] = float(w.grad[0])
+            release.set()
+
+        threads = [threading.Thread(target=eval_thread), threading.Thread(target=train_thread)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=20)
+        assert results["eval_enabled"] is False
+        assert results["train_requires_grad"] is True
+        assert results["train_grad"] == 2.0
+
+    def test_concurrent_training_and_evaluation_grads_intact(self):
+        # Hammer both paths concurrently: every training iteration must see
+        # a recorded graph no matter how often the eval thread flips its flag.
+        stop = threading.Event()
+        failures = []
+
+        def evaluator():
+            while not stop.is_set():
+                with no_grad():
+                    out = Tensor([1.0], requires_grad=True) * 2.0
+                    if out.requires_grad:
+                        failures.append("eval recorded a graph")
+
+        def trainer():
+            for _ in range(300):
+                w = Tensor([1.0], requires_grad=True)
+                out = (w * 2.0).sum()
+                if not out.requires_grad:
+                    failures.append("training lost grad recording")
+                    break
+                out.backward()
+            stop.set()
+
+        eval_worker = threading.Thread(target=evaluator)
+        train_worker = threading.Thread(target=trainer)
+        eval_worker.start()
+        train_worker.start()
+        train_worker.join(timeout=60)
+        stop.set()
+        eval_worker.join(timeout=60)
+        assert not failures
